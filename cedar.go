@@ -1,0 +1,176 @@
+// Package cedar is the public facade of the Cedar overhead-
+// characterization reproduction (Natarajan, Sharma, Iyer — ISCA 1994).
+//
+// One call simulates an application on a Cedar configuration with full
+// instrumentation and returns the analysis-ready result:
+//
+//	res := cedar.Simulate(perfect.FLO52(), arch.Cedar32, cedar.Options{})
+//	fmt.Println(res.OSShare(), res.Task(0).OverheadFraction())
+//
+// Sweep runs an application across the paper's five configurations and
+// normalizes reported seconds so the 1-processor completion time
+// matches the paper's Table 1 (the calibration policy in DESIGN.md);
+// every multiprocessor quantity is model output.
+package cedar
+
+import (
+	"hash/fnv"
+
+	"repro/internal/arch"
+	"repro/internal/cfrt"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hpm"
+	"repro/internal/perfect"
+	"repro/internal/sim"
+	"repro/internal/statfx"
+	"repro/internal/xylem"
+)
+
+// Options tune a simulation run.
+type Options struct {
+	// Steps overrides the app's timestep count when > 0 (smaller is
+	// faster; overhead fractions are step-count invariant).
+	Steps int
+	// Seed overrides the deterministic seed derived from the app and
+	// configuration when non-zero.
+	Seed int64
+	// SamplerInterval is the statfx sampling period in cycles;
+	// defaults to 10000 (0.5 ms) when zero. Negative disables the
+	// sampler.
+	SamplerInterval sim.Duration
+	// TraceCapacity enables the cedarhpm monitor with the given trace
+	// buffer capacity when > 0.
+	TraceCapacity int
+	// TraceMask restricts recorded event kinds when non-zero (see
+	// hpm.MaskFor).
+	TraceMask uint32
+	// Costs overrides the unit-cost model when non-nil.
+	Costs *arch.CostModel
+	// TreeFanout, when > 1, uses the software combining-tree barrier
+	// (paper reference [16]) instead of the flat busy-wait barrier on
+	// unclustered configurations.
+	TreeFanout int
+	// XdoallChunk, when > 1, claims chunks of XDOALL iterations per
+	// global-lock pickup, amortizing the distribution overhead.
+	XdoallChunk int
+}
+
+func (o Options) seed(app perfect.App, cfg arch.Config) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(app.Name))
+	h.Write([]byte(cfg.Name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Run is a Simulate result plus the live simulation objects, for
+// callers (tools, tests) that want to inspect traces or hardware
+// statistics beyond the analysis result.
+type Run struct {
+	Result  *core.Result
+	Machine *cluster.Machine
+	OS      *xylem.OS
+	RT      *cfrt.Runtime
+	Monitor *hpm.Monitor // nil unless Options.TraceCapacity > 0
+}
+
+// Simulate runs one application on one configuration and returns the
+// analysis result. The result's Scale is 1 (raw simulated seconds);
+// Sweep sets the paper normalization.
+func Simulate(app perfect.App, cfg arch.Config, opts Options) *core.Result {
+	return SimulateRun(app, cfg, opts).Result
+}
+
+// SimulateRun is Simulate, returning the live simulation objects too.
+func SimulateRun(app perfect.App, cfg arch.Config, opts Options) *Run {
+	if err := app.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.Steps > 0 {
+		app = app.WithSteps(opts.Steps)
+	}
+	costs := arch.DefaultCosts()
+	if opts.Costs != nil {
+		costs = *opts.Costs
+	}
+
+	k := sim.NewKernel(opts.seed(app, cfg))
+	m := cluster.NewMachine(k, cfg, costs)
+	o := xylem.New(m)
+
+	var mon *hpm.Monitor
+	if opts.TraceCapacity > 0 {
+		mon = hpm.New(k, opts.TraceCapacity)
+		if opts.TraceMask != 0 {
+			mon.SetMask(opts.TraceMask)
+		}
+	}
+	rt := cfrt.New(m, o, mon)
+	rt.TreeFanout = opts.TreeFanout
+	rt.XdoallChunk = opts.XdoallChunk
+
+	var sampler *statfx.Sampler
+	if opts.SamplerInterval >= 0 {
+		interval := opts.SamplerInterval
+		if interval == 0 {
+			interval = 10_000
+		}
+		sampler = statfx.NewSampler(m, interval)
+		rt.OnFinish = sampler.Stop
+	}
+
+	region := o.NewRegion(app.Name+".data", app.DataWords)
+	rt.Run(app.Program(region))
+
+	res := core.Collect(app.Name, 1, rt, sampler)
+	return &Run{Result: res, Machine: m, OS: o, RT: rt, Monitor: mon}
+}
+
+// Sweep runs the app across the paper's five configurations and
+// normalizes seconds so the 1-processor completion time matches the
+// paper's (when the app is one of the five; synthetic apps keep
+// Scale 1).
+func Sweep(app perfect.App, opts Options) *core.Sweep {
+	s := &core.Sweep{App: app.Name, Results: map[int]*core.Result{}}
+	for _, cfg := range arch.PaperConfigs() {
+		s.Results[cfg.CEs()] = Simulate(app, cfg, opts)
+	}
+	normalize(s)
+	return s
+}
+
+// normalize sets every result's Scale so that the sweep's 1-processor
+// CT in seconds equals the paper's published CT1.
+func normalize(s *core.Sweep) {
+	base := s.Base()
+	if base == nil {
+		return
+	}
+	paper := perfect.PaperCT1(s.App)
+	if paper <= 0 {
+		return
+	}
+	raw := arch.Seconds(int64(base.CT))
+	if raw <= 0 {
+		return
+	}
+	scale := paper / raw
+	for _, r := range s.Results {
+		r.Scale = scale
+	}
+}
+
+// AllSweeps runs every paper application across every configuration.
+func AllSweeps(opts Options) []*core.Sweep {
+	var out []*core.Sweep
+	for _, app := range perfect.Apps() {
+		out = append(out, Sweep(app, opts))
+	}
+	return out
+}

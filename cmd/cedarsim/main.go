@@ -1,0 +1,132 @@
+// Command cedarsim runs one application on one Cedar configuration
+// with full instrumentation and prints the complete measurement
+// report: completion time, speedup-relevant statistics, the
+// completion-time breakdown, the user-time breakdown per task, the
+// detailed OS overhead table, and the contention estimate (when the
+// 1-processor baseline is also run).
+//
+// Usage:
+//
+//	cedarsim [-app FLO52] [-ces 32] [-steps N] [-flat] [-no-baseline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cedar "repro"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/perfect"
+)
+
+func main() {
+	appName := flag.String("app", "FLO52", "application: FLO52, ARC2D, MDG, OCEAN, ADM")
+	ces := flag.Int("ces", 32, "processor count: 1, 4, 8, 16, or 32")
+	steps := flag.Int("steps", 0, "override timestep count (0 = app default)")
+	flat := flag.Bool("flat", false, "run the unclustered 32-processor machine (Section 6 discussion)")
+	noBase := flag.Bool("no-baseline", false, "skip the 1-processor baseline (no contention estimate)")
+	chunk := flag.Int("chunk", 0, "XDOALL pickup chunk size (>1 amortizes the iteration lock)")
+	tree := flag.Int("tree", 0, "combining-tree fanout for the flat machine's barriers (>1 enables)")
+	flag.Parse()
+
+	app, ok := perfect.ByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cedarsim: unknown application %q\n", *appName)
+		os.Exit(2)
+	}
+
+	var cfg arch.Config
+	if *flat {
+		cfg = arch.Unclustered32
+	} else {
+		found := false
+		for _, c := range arch.PaperConfigs() {
+			if c.CEs() == *ces {
+				cfg, found = c, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "cedarsim: no configuration with %d CEs\n", *ces)
+			os.Exit(2)
+		}
+	}
+
+	opts := cedar.Options{Steps: *steps, XdoallChunk: *chunk, TreeFanout: *tree}
+	res := cedar.Simulate(app, cfg, opts)
+
+	var base *core.Result
+	if !*noBase && cfg.CEs() > 1 {
+		base = cedar.Simulate(app, arch.Cedar1, opts)
+		// Normalize both to the paper's CT1 for readable seconds.
+		if paper := perfect.PaperCT1(app.Name); paper > 0 {
+			scale := paper / arch.Seconds(int64(base.CT))
+			base.Scale, res.Scale = scale, scale
+		}
+	}
+
+	fmt.Printf("%s on %s (%d CEs, %d clusters)\n", app.Name, cfg.Name, cfg.CEs(), cfg.Clusters)
+	fmt.Printf("completion time: %.1f s (%.0f cycles)\n", res.CTSeconds(), float64(res.CT))
+	if base != nil {
+		fmt.Printf("speedup over 1 processor: %.2f\n", res.Speedup(base))
+	}
+	fmt.Printf("average concurrency: %.2f (sampled: %.2f)\n",
+		res.MachineConcurrency(), res.SampledConcurrency)
+	fmt.Printf("OS share of CT (machine average): %.1f%%\n\n", res.OSShare()*100)
+
+	fmt.Println("Completion-time breakdown per cluster task (Figure 3 view):")
+	for c := 0; c < cfg.Clusters; c++ {
+		b := res.ClusterBreakdown(c)
+		fmt.Printf("  cluster %d: user %.1f%%  system %.1f%%  interrupt %.1f%%  spin %.2f%%\n",
+			c, b.User*100, b.System*100, b.Interrupt*100, b.Spin*100)
+	}
+	fmt.Println()
+
+	fmt.Println("User-time breakdown per task (Figures 4-9 view, % of CT):")
+	for _, t := range res.Tasks() {
+		name := "main"
+		if !t.IsMain {
+			name = fmt.Sprintf("helper%d", t.Cluster)
+		}
+		fmt.Printf("  %-8s serial %.1f  mc %.1f  iters %.1f  setup %.1f  pick %.1f  barrier %.1f  hwait %.1f  | overhead %.1f\n",
+			name, t.Serial*100, t.MCLoop*100, t.Iter*100,
+			t.Setup*100, t.Pick*100, t.Barrier*100, t.HelperWait*100,
+			t.OverheadFraction()*100)
+	}
+	fmt.Println()
+
+	fmt.Println("Detailed OS overheads (Table 2 view, per-CE average):")
+	for _, row := range res.OSDetail() {
+		fmt.Printf("  %-16s %8.2f s  %5.2f%%  (%d events)\n",
+			row.Category, row.Seconds, row.Percent, row.Count)
+	}
+	fmt.Println()
+
+	pf := make([]float64, cfg.Clusters)
+	for c := range pf {
+		pf[c] = res.ParallelFraction(c)
+	}
+	fmt.Printf("parallel fraction per cluster: %.3f\n", pf)
+	fmt.Printf("parallel loop concurrency per cluster (Table 3): %.2f\n", res.ParallelLoopConcurrency())
+
+	if base != nil {
+		cont, err := core.ContentionOverhead(base, res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contention estimate failed: %v\n", err)
+		} else {
+			fmt.Printf("\nGM & network contention (Table 4 view):\n")
+			fmt.Printf("  Tp_actual %.0f s   Tp_ideal %.0f s   Ov_cont %.1f%% of CT\n",
+				res.Seconds(cont.TpActual), res.Seconds(cont.TpIdeal), cont.OvCont)
+		}
+	}
+
+	var spin float64
+	for _, a := range res.Accounts {
+		spin += float64(a.Get(metrics.CatOSSpin))
+	}
+	fmt.Printf("\nkernel lock spin (machine total): %.3f%% of CT x CEs\n",
+		spin/float64(int64(res.CT)*int64(cfg.CEs()))*100)
+}

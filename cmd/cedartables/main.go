@@ -1,0 +1,179 @@
+// Command cedartables regenerates every table and figure of the
+// paper's evaluation from fresh simulation runs:
+//
+//	Table 1    — completion times, speedups, average concurrency
+//	Figure 3   — completion-time breakdown (user/system/interrupt/spin)
+//	Figures 5-9 — user-time breakdown per task
+//	Table 2    — detailed OS overhead characterization (32 processors)
+//	Table 3    — average parallel loop concurrency
+//	Table 4    — global memory and network contention overhead
+//
+// With -paper, each table is followed by the paper's published values
+// for side-by-side comparison.
+//
+// Usage:
+//
+//	cedartables [-app FLO52,...] [-steps N] [-paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	cedar "repro"
+	"repro/internal/core"
+	"repro/internal/perfect"
+)
+
+func main() {
+	appsFlag := flag.String("app", "", "comma-separated app names (default: all five)")
+	steps := flag.Int("steps", 0, "override timestep count (0 = app default)")
+	paper := flag.Bool("paper", false, "print the paper's published values after each table")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables")
+	flag.Parse()
+
+	apps := perfect.Apps()
+	if *appsFlag != "" {
+		apps = nil
+		for _, name := range strings.Split(*appsFlag, ",") {
+			a, ok := perfect.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cedartables: unknown application %q\n", name)
+				os.Exit(2)
+			}
+			apps = append(apps, a)
+		}
+	}
+
+	opts := cedar.Options{Steps: *steps}
+	var sweeps []*core.Sweep
+	for _, app := range apps {
+		fmt.Fprintf(os.Stderr, "simulating %s across configurations...\n", app.Name)
+		sweeps = append(sweeps, cedar.Sweep(app, opts))
+	}
+
+	if *csv {
+		var at32 []*core.Result
+		for _, s := range sweeps {
+			if r, ok := s.Results[32]; ok {
+				at32 = append(at32, r)
+			}
+		}
+		fmt.Print(core.Table1CSV(sweeps))
+		fmt.Print(core.Figure3CSV(sweeps))
+		fmt.Print(core.UserTimeCSV(sweeps))
+		fmt.Print(core.Table2CSV(at32))
+		fmt.Print(core.Table3CSV(sweeps))
+		fmt.Print(core.Table4CSV(sweeps))
+		return
+	}
+
+	fmt.Println(core.FormatTable1(sweeps))
+	if *paper {
+		printPaperTable1(sweeps)
+	}
+	fmt.Println()
+
+	for _, s := range sweeps {
+		fmt.Println(core.FormatFigure3(s))
+	}
+	for _, s := range sweeps {
+		fmt.Println(core.FormatUserTime(s))
+	}
+
+	var at32 []*core.Result
+	for _, s := range sweeps {
+		if r, ok := s.Results[32]; ok {
+			at32 = append(at32, r)
+		}
+	}
+	if len(at32) > 0 {
+		fmt.Println(core.FormatTable2(at32))
+		if *paper {
+			printPaperTable2(at32)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(core.FormatTable3(sweeps))
+	if *paper {
+		printPaperTable3(sweeps)
+	}
+	fmt.Println()
+	fmt.Println(core.FormatTable4(sweeps))
+	if *paper {
+		printPaperTable4(sweeps)
+	}
+}
+
+func printPaperTable1(sweeps []*core.Sweep) {
+	fmt.Println("  [paper] Table 1:")
+	for _, s := range sweeps {
+		row, ok := perfect.PaperTable1[s.App]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-8s CT(s):", s.App)
+		for _, p := range []int{1, 4, 8, 16, 32} {
+			fmt.Printf(" %7.0f", row.CT[p])
+		}
+		fmt.Printf("\n  %-8s Speedup:", "")
+		for _, p := range []int{4, 8, 16, 32} {
+			fmt.Printf(" %7.2f", row.Speedup[p])
+		}
+		fmt.Printf("\n  %-8s Concurr:", "")
+		for _, p := range []int{4, 8, 16, 32} {
+			fmt.Printf(" %7.2f", row.Concurr[p])
+		}
+		fmt.Println()
+	}
+}
+
+func printPaperTable2(results []*core.Result) {
+	fmt.Println("  [paper] Table 2 (s, %):")
+	for _, r := range results {
+		rows, ok := perfect.PaperTable2[r.App]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-8s", r.App)
+		for _, label := range []string{"cpi", "ctx", "pg flt (c)", "pg flt (s)",
+			"Cr Sect (clus)", "Cr Sect (glbl)", "clus syscall", "glbl syscall", "ast"} {
+			row := rows[label]
+			fmt.Printf(" %s=%.2f/%.2f%%", label, row.Seconds, row.Percent)
+		}
+		fmt.Println()
+	}
+}
+
+func printPaperTable3(sweeps []*core.Sweep) {
+	fmt.Println("  [paper] Table 3 (per task/cluster):")
+	for _, s := range sweeps {
+		rows, ok := perfect.PaperTable3[s.App]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-8s", s.App)
+		for _, p := range []int{4, 8, 16, 32} {
+			fmt.Printf(" %dp=%v", p, rows[p])
+		}
+		fmt.Println()
+	}
+}
+
+func printPaperTable4(sweeps []*core.Sweep) {
+	fmt.Println("  [paper] Table 4 Ov_cont (%):")
+	for _, s := range sweeps {
+		row, ok := perfect.PaperTable4[s.App]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-8s", s.App)
+		for _, p := range []int{4, 8, 16, 32} {
+			fmt.Printf(" %dp=%.1f", p, row.OvCont[p])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,110 @@
+// Command cedartrace runs an application with the cedarhpm monitor
+// armed and prints the event trace (or a per-event summary), the way
+// the paper's trace buffers were offloaded to a workstation for
+// analysis.
+//
+// Usage:
+//
+//	cedartrace [-app FLO52] [-ces 16] [-steps 1] [-max 200] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cedar "repro"
+	"repro/internal/arch"
+	"repro/internal/hpm"
+	"repro/internal/perfect"
+)
+
+func main() {
+	appName := flag.String("app", "FLO52", "application name")
+	ces := flag.Int("ces", 16, "processor count")
+	steps := flag.Int("steps", 1, "timesteps to run (trace volume grows fast)")
+	max := flag.Int("max", 200, "maximum trace records to print")
+	summary := flag.Bool("summary", false, "print per-event counts and pair durations only")
+	hw := flag.Bool("hw", false, "print hardware counters (module utilization, hot ports, cache)")
+	flag.Parse()
+
+	app, ok := perfect.ByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cedartrace: unknown application %q\n", *appName)
+		os.Exit(2)
+	}
+	var cfg arch.Config
+	for _, c := range arch.PaperConfigs() {
+		if c.CEs() == *ces {
+			cfg = c
+		}
+	}
+	if cfg.Name == "" {
+		fmt.Fprintf(os.Stderr, "cedartrace: no configuration with %d CEs\n", *ces)
+		os.Exit(2)
+	}
+
+	run := cedar.SimulateRun(app, cfg, cedar.Options{
+		Steps:         *steps,
+		TraceCapacity: 1 << 22,
+	})
+	mon := run.Monitor
+
+	fmt.Printf("%s on %s: %d cycles, %d trace records (%d dropped)\n\n",
+		app.Name, cfg.Name, run.Result.CT, len(mon.Trace()), mon.Dropped())
+
+	if *hw {
+		ct := run.Result.CT
+		gm := run.Result.GM
+		fmt.Printf("global memory: %d accesses, %d words; request-to-completion total %d cycles\n",
+			gm.Accesses, gm.Words, gm.StallTotal)
+		fmt.Println("module utilization (busy fraction over the run):")
+		util := run.Machine.GM.ModuleUtilization(ct)
+		for i, u := range util {
+			fmt.Printf(" m%02d %5.1f%%", i, u*100)
+			if (i+1)%8 == 0 {
+				fmt.Println()
+			}
+		}
+		hotName, hotDelay := run.Machine.GM.Net().MaxPortDelay()
+		st := run.Machine.GM.Net().Stats()
+		fmt.Printf("network: %d port reservations, %d delayed; aggregate queueing %d cycles\n",
+			st.Reservations, st.Delayed, st.DelayTotal)
+		fmt.Printf("hottest port: %s with %d cycles of queueing\n", hotName, hotDelay)
+		fmt.Println("\nper-cluster shared cache:")
+		for _, cl := range run.Machine.Clusters {
+			fmt.Printf("  cluster %d: util %.1f%%  hits %d  misses %d  queued %d cycles\n",
+				cl.ID, cl.Cache.Utilization(ct)*100,
+				cl.Cache.Hits(), cl.Cache.Misses(), cl.Cache.QueuedTotal())
+		}
+		fmt.Printf("\nOS: %d sequential faults, %d concurrent fault participations\n",
+			run.OS.SeqFaults(), run.OS.ConcFaults())
+		return
+	}
+
+	if *summary {
+		fmt.Println("event counts:")
+		for ev := hpm.EventID(0); ev < hpm.NumEvents; ev++ {
+			if n := mon.Count(ev); n > 0 {
+				fmt.Printf("  %-14s %10d\n", ev, n)
+			}
+		}
+		fmt.Println("\nbarrier time per CE (barrier-enter .. barrier-exit):")
+		for ce, d := range hpm.PairDurations(mon.Trace(), hpm.EvBarrierEnter, hpm.EvBarrierExit) {
+			fmt.Printf("  ce%-3d %12d cycles\n", ce, d)
+		}
+		fmt.Println("\nhelper wait per CE (wait-start .. wait-end):")
+		for ce, d := range hpm.PairDurations(mon.Trace(), hpm.EvWaitStart, hpm.EvWaitEnd) {
+			fmt.Printf("  ce%-3d %12d cycles\n", ce, d)
+		}
+		return
+	}
+
+	for i, rec := range mon.Trace() {
+		if i >= *max {
+			fmt.Printf("... (%d more)\n", len(mon.Trace())-i)
+			break
+		}
+		fmt.Printf("%12d  ce%-3d %-14s aux=%d\n", rec.At, rec.CE, rec.Event, rec.Aux)
+	}
+}

@@ -1,0 +1,132 @@
+// Package arch describes the Cedar machine: its topology (clusters of
+// computational elements behind a two-stage shuffle-exchange network
+// and an interleaved global memory) and the unit-cost model used by
+// the hardware, OS, and runtime simulations.
+//
+// All times are in cycles of the CE clock. The clock is fixed at
+// 20 MHz so that one cycle equals 50 ns — the timestamp resolution of
+// the cedarhpm hardware monitor in the paper — which makes simulated
+// cycle counts directly comparable to the paper's second-denominated
+// measurements.
+package arch
+
+import "fmt"
+
+// CycleNS is the duration of one CE clock cycle in nanoseconds.
+const CycleNS = 50
+
+// CyclesPerSecond is the CE clock rate.
+const CyclesPerSecond = 1e9 / CycleNS
+
+// Config describes a Cedar hardware configuration.
+type Config struct {
+	// Name is a short label such as "32proc".
+	Name string
+	// Clusters is the number of Alliant FX/8 clusters (1, 2, or 4 on
+	// the real machine).
+	Clusters int
+	// CEsPerCluster is the number of computational elements per
+	// cluster (8 on the real machine; smaller values model the 1- and
+	// 4-processor configurations, which use a single cluster).
+	CEsPerCluster int
+	// GMModules is the number of independent global memory modules
+	// (32, double-word interleaved and aligned).
+	GMModules int
+	// NetStages is the number of network stages (2), each built from
+	// 8x8 crossbar switches.
+	NetStages int
+	// SwitchDegree is the fan-in/out of each crossbar switch (8).
+	SwitchDegree int
+	// Unclustered, when true, removes the cluster hierarchy for
+	// runtime purposes: every CE is treated as an independent
+	// processor that synchronizes through global memory. This models
+	// the "32 independent processors" alternative discussed in
+	// Section 6 of the paper. The hardware paths are unchanged.
+	Unclustered bool
+}
+
+// CEs returns the total number of computational elements.
+func (c Config) CEs() int { return c.Clusters * c.CEsPerCluster }
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters < 1:
+		return fmt.Errorf("arch: %s: clusters %d < 1", c.Name, c.Clusters)
+	case c.CEsPerCluster < 1:
+		return fmt.Errorf("arch: %s: CEs/cluster %d < 1", c.Name, c.CEsPerCluster)
+	case c.CEsPerCluster > 8:
+		return fmt.Errorf("arch: %s: CEs/cluster %d > 8 (FX/8 limit)", c.Name, c.CEsPerCluster)
+	case c.Clusters > 4:
+		return fmt.Errorf("arch: %s: clusters %d > 4 (Cedar limit)", c.Name, c.Clusters)
+	case c.GMModules < 1 || c.GMModules&(c.GMModules-1) != 0:
+		return fmt.Errorf("arch: %s: GM modules %d not a power of two", c.Name, c.GMModules)
+	case c.NetStages < 1:
+		return fmt.Errorf("arch: %s: net stages %d < 1", c.Name, c.NetStages)
+	case c.SwitchDegree < 2:
+		return fmt.Errorf("arch: %s: switch degree %d < 2", c.Name, c.SwitchDegree)
+	}
+	return nil
+}
+
+// CEID identifies a computational element by cluster and local index.
+type CEID struct {
+	Cluster int
+	Local   int
+}
+
+// Global returns the machine-wide CE index.
+func (id CEID) Global(c Config) int { return id.Cluster*c.CEsPerCluster + id.Local }
+
+// CEByGlobal converts a machine-wide CE index back to a CEID.
+func (c Config) CEByGlobal(g int) CEID {
+	return CEID{Cluster: g / c.CEsPerCluster, Local: g % c.CEsPerCluster}
+}
+
+// String implements fmt.Stringer.
+func (id CEID) String() string { return fmt.Sprintf("c%d.ce%d", id.Cluster, id.Local) }
+
+func base(name string, clusters, ces int) Config {
+	return Config{
+		Name:          name,
+		Clusters:      clusters,
+		CEsPerCluster: ces,
+		GMModules:     32,
+		NetStages:     2,
+		SwitchDegree:  8,
+	}
+}
+
+// The five configurations measured in the paper. The 1-, 4- and
+// 8-processor configurations all use a single cluster (the paper's
+// footnote: "all the 4 processors for the 4-processor configuration
+// are from the same cluster").
+var (
+	Cedar1  = base("1proc", 1, 1)
+	Cedar4  = base("4proc", 1, 4)
+	Cedar8  = base("8proc", 1, 8)
+	Cedar16 = base("16proc", 2, 8)
+	Cedar32 = base("32proc", 4, 8)
+)
+
+// PaperConfigs lists the configurations in the order the paper's
+// tables use.
+func PaperConfigs() []Config {
+	return []Config{Cedar1, Cedar4, Cedar8, Cedar16, Cedar32}
+}
+
+// Unclustered32 is the hypothetical flat machine discussed in
+// Section 6: the same 32 CEs, but synchronizing as 32 independent
+// tasks through global memory rather than hierarchically.
+var Unclustered32 = func() Config {
+	c := base("32flat", 4, 8)
+	c.Name = "32flat"
+	c.Unclustered = true
+	return c
+}()
+
+// Seconds converts a cycle count to seconds of machine time.
+func Seconds(cycles int64) float64 { return float64(cycles) / CyclesPerSecond }
+
+// Cycles converts seconds of machine time to cycles.
+func Cycles(seconds float64) int64 { return int64(seconds * CyclesPerSecond) }

@@ -1,0 +1,127 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperConfigsValid(t *testing.T) {
+	want := []int{1, 4, 8, 16, 32}
+	cfgs := PaperConfigs()
+	if len(cfgs) != len(want) {
+		t.Fatalf("got %d configs, want %d", len(cfgs), len(want))
+	}
+	for i, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if c.CEs() != want[i] {
+			t.Errorf("%s: CEs = %d, want %d", c.Name, c.CEs(), want[i])
+		}
+	}
+}
+
+func TestSingleClusterSmallConfigs(t *testing.T) {
+	// The paper's footnote: 1-, 4-, 8-processor configurations are all
+	// one cluster.
+	for _, c := range []Config{Cedar1, Cedar4, Cedar8} {
+		if c.Clusters != 1 {
+			t.Errorf("%s: clusters = %d, want 1", c.Name, c.Clusters)
+		}
+	}
+	if Cedar16.Clusters != 2 || Cedar32.Clusters != 4 {
+		t.Errorf("multi-cluster configs wrong: %d, %d", Cedar16.Clusters, Cedar32.Clusters)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "no-clusters", Clusters: 0, CEsPerCluster: 8, GMModules: 32, NetStages: 2, SwitchDegree: 8},
+		{Name: "big-cluster", Clusters: 1, CEsPerCluster: 9, GMModules: 32, NetStages: 2, SwitchDegree: 8},
+		{Name: "five-clusters", Clusters: 5, CEsPerCluster: 8, GMModules: 32, NetStages: 2, SwitchDegree: 8},
+		{Name: "odd-modules", Clusters: 1, CEsPerCluster: 8, GMModules: 31, NetStages: 2, SwitchDegree: 8},
+		{Name: "no-stages", Clusters: 1, CEsPerCluster: 8, GMModules: 32, NetStages: 0, SwitchDegree: 8},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", c.Name)
+		}
+	}
+}
+
+func TestCEIDRoundTrip(t *testing.T) {
+	c := Cedar32
+	seen := map[int]bool{}
+	for cl := 0; cl < c.Clusters; cl++ {
+		for l := 0; l < c.CEsPerCluster; l++ {
+			id := CEID{Cluster: cl, Local: l}
+			g := id.Global(c)
+			if seen[g] {
+				t.Fatalf("duplicate global id %d", g)
+			}
+			seen[g] = true
+			if back := c.CEByGlobal(g); back != id {
+				t.Fatalf("round trip %v -> %d -> %v", id, g, back)
+			}
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("enumerated %d CEs, want 32", len(seen))
+	}
+}
+
+func TestQuickCEIDRoundTrip(t *testing.T) {
+	f := func(g uint8) bool {
+		c := Cedar32
+		id := c.CEByGlobal(int(g) % c.CEs())
+		return id.Global(c) == int(g)%c.CEs() &&
+			id.Cluster >= 0 && id.Cluster < c.Clusters &&
+			id.Local >= 0 && id.Local < c.CEsPerCluster
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondsCyclesRoundTrip(t *testing.T) {
+	if got := Seconds(Cycles(3.5)); got != 3.5 {
+		t.Fatalf("Seconds(Cycles(3.5)) = %v", got)
+	}
+	if got := Seconds(CyclesPerSecond); got != 1.0 {
+		t.Fatalf("1 second = %v", got)
+	}
+	// 50 ns per cycle.
+	if got := Seconds(1); got != 50e-9 {
+		t.Fatalf("1 cycle = %v s, want 50 ns", got)
+	}
+}
+
+func TestUnclustered32(t *testing.T) {
+	if !Unclustered32.Unclustered {
+		t.Fatal("Unclustered32 not flagged")
+	}
+	if Unclustered32.CEs() != 32 {
+		t.Fatalf("Unclustered32 CEs = %d", Unclustered32.CEs())
+	}
+	if err := Unclustered32.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	cm := DefaultCosts()
+	if cm.ModuleCyclesPerWord != 4 {
+		t.Errorf("module cycles = %d, want 4 (paper)", cm.ModuleCyclesPerWord)
+	}
+	if cm.PageFaultConc <= 0 {
+		t.Error("concurrent fault surcharge must be positive: a participant" +
+			" pays it on top of waiting out the service, making concurrent" +
+			" faults dearer than sequential ones (paper)")
+	}
+	if cm.SyscallGlobal <= cm.SyscallCluster {
+		t.Error("global syscall must cost more than cluster syscall")
+	}
+	if cm.PageBytes <= 0 || cm.CacheLineWords <= 0 {
+		t.Error("non-positive size constants")
+	}
+}

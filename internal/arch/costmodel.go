@@ -1,0 +1,151 @@
+package arch
+
+// CostModel collects every unit cost (in CE clock cycles) used by the
+// hardware, OS, and runtime models. Defaults are calibrated so that
+// the detailed OS overhead table and the contention overheads land in
+// the ranges the paper reports for the 4-cluster Cedar (Tables 2 and
+// 4); see EXPERIMENTS.md for the calibration record.
+type CostModel struct {
+	// ---- Global memory & network (Section 7) ----
+
+	// GIFLatency is the Global Interface overhead to inject a request
+	// into (or accept a reply from) the interconnection network.
+	GIFLatency int64
+	// StageLatency is the transit latency through one network stage.
+	StageLatency int64
+	// PortCyclesPerWord is the occupancy of a crossbar output port per
+	// 8-byte word transferred.
+	PortCyclesPerWord int64
+	// ModuleCyclesPerWord is the occupancy of a global memory module
+	// per word: "the global memory takes 4 processor clock cycles to
+	// process a request".
+	ModuleCyclesPerWord int64
+	// ModuleLatency is the access latency of a module for the first
+	// word of a request (row access), on top of occupancy.
+	ModuleLatency int64
+
+	// ---- Cluster (intra-cluster hardware) ----
+
+	// CacheHitCycles is the shared-cache hit time per word.
+	CacheHitCycles int64
+	// CacheMissCycles is the added stall per cache miss (cluster
+	// memory refill).
+	CacheMissCycles int64
+	// CacheLineWords is the refill granularity in words.
+	CacheLineWords int
+	// ConcBusDispatch is the concurrency-control-bus cost to spread a
+	// CDOALL across the cluster's CEs.
+	ConcBusDispatch int64
+	// ConcBusSync is the concurrency-control-bus cost for the
+	// cluster-internal synchronization at the end of a CDOALL or the
+	// cluster phase of an XDOALL.
+	ConcBusSync int64
+
+	// ---- Xylem OS (Section 5) ----
+
+	// CtxSwitch is the cost of one context switch (register save and
+	// restore plus bookkeeping), charged to every CE of the cluster
+	// being switched (gang scheduling).
+	CtxSwitch int64
+	// CPIService is the per-CE cost of servicing one cross-processor
+	// interrupt (register saves and accounting before the CEs
+	// synchronize to a single execution thread).
+	CPIService int64
+	// PageFaultSeq is the service time of a sequential page fault.
+	PageFaultSeq int64
+	// PageFaultConc is the per-participant service time of a
+	// concurrent page fault (two or more CEs fault on the same page
+	// simultaneously); "concurrent page faults are more expensive than
+	// sequential page faults".
+	PageFaultConc int64
+	// SyscallCluster is the service time of a cluster system call.
+	SyscallCluster int64
+	// SyscallGlobal is the service time of a global system call.
+	SyscallGlobal int64
+	// CritSectCluster is the hold time of a cluster critical section
+	// (cluster memory lock) entered on OS paths.
+	CritSectCluster int64
+	// CritSectGlobal is the hold time of a global critical section.
+	CritSectGlobal int64
+	// ASTService is the service time of an asynchronous system trap.
+	ASTService int64
+	// SchedTickCycles is the period of the per-cluster OS bookkeeping
+	// activity that forces a context switch of the application task in
+	// a dedicated system ("when the OS server must perform some
+	// bookkeeping").
+	SchedTickCycles int64
+	// ASTPeriodCycles is the mean period between asynchronous system
+	// traps delivered to the application.
+	ASTPeriodCycles int64
+
+	// ---- Cedar Fortran runtime (Section 6) ----
+
+	// LoopSetup is the CE-local cost of setting up parallel loop
+	// parameters when entering an S/C/XDOALL.
+	LoopSetup int64
+	// IterDispatchLocal is the CE-local bookkeeping per iteration
+	// pickup (on top of any global memory traffic the pickup needs).
+	IterDispatchLocal int64
+	// XdoallPickSerial is the serialized window of an XDOALL iteration
+	// pickup: from the test-and-set winning at the memory module until
+	// the loop index update commits, during which competing
+	// test-and-sets retry. This throughput bound is what makes the
+	// flat construct's distribution overhead grow with processor count
+	// (Section 6).
+	XdoallPickSerial int64
+	// SpinPollInterval is the period at which a spinning task
+	// re-checks a global memory location (helper tasks checking the
+	// sdoall activity lock "every few cycles", and the main task
+	// polling the barrier count).
+	SpinPollInterval int64
+	// BarrierDetach is the CE-local cost for a helper task to detach
+	// from a loop at the finish barrier.
+	BarrierDetach int64
+
+	// PageBytes is the virtual memory page size.
+	PageBytes int64
+}
+
+// DefaultCosts returns the calibrated cost model.
+//
+// Hardware values follow the paper and the Cedar literature where
+// stated (4-cycle module processing, two 8x8 stages); OS service
+// times are calibrated against Table 2 (costs on the order of 0.5–2 ms
+// per event, consistent with a late-1980s Unix derivative).
+func DefaultCosts() CostModel {
+	const ms = 20_000 // cycles per millisecond at 50 ns/cycle
+	const us = 20     // cycles per microsecond
+	return CostModel{
+		GIFLatency:          5,
+		StageLatency:        8,
+		PortCyclesPerWord:   1,
+		ModuleCyclesPerWord: 4,
+		ModuleLatency:       6,
+
+		CacheHitCycles:  1,
+		CacheMissCycles: 10,
+		CacheLineWords:  4,
+		ConcBusDispatch: 12,
+		ConcBusSync:     16,
+
+		CtxSwitch:       500 * us, // 0.5 ms: full register file save/restore + bookkeeping
+		CPIService:      200 * us, // per CE gathered by the CPI
+		PageFaultSeq:    60 * us,
+		PageFaultConc:   25 * us, // per participant, on top of waiting out the service
+		SyscallCluster:  150 * us,
+		SyscallGlobal:   400 * us,
+		CritSectCluster: 100 * us,
+		CritSectGlobal:  120 * us,
+		ASTService:      80 * us,
+		SchedTickCycles: 25 * ms, // bookkeeping switch every 25 ms per cluster
+		ASTPeriodCycles: 60 * ms,
+
+		LoopSetup:         30,
+		IterDispatchLocal: 10,
+		XdoallPickSerial:  30,
+		SpinPollInterval:  12,
+		BarrierDetach:     8,
+
+		PageBytes: 4096,
+	}
+}

@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+func TestAllHitsStreamAtWays(t *testing.T) {
+	cost := arch.DefaultCosts()
+	c := New(cost)
+	done, queued := c.Access(0, 100, 1.0)
+	if queued != 0 {
+		t.Fatalf("lone access queued %d", queued)
+	}
+	// 100 words at 4 words/cycle = 25 cycles occupancy + drain.
+	want := sim.Time(25 + cost.CacheHitCycles)
+	if done != want {
+		t.Fatalf("all-hit done = %d, want %d", done, want)
+	}
+	if c.Misses() != 0 {
+		t.Fatalf("misses = %d, want 0", c.Misses())
+	}
+}
+
+func TestMissesCostMore(t *testing.T) {
+	cost := arch.DefaultCosts()
+	a := New(cost)
+	b := New(cost)
+	hitDone, _ := a.Access(0, 1000, 1.0)
+	missDone, _ := b.Access(0, 1000, 0.0)
+	if missDone <= hitDone {
+		t.Fatalf("all-miss %d not slower than all-hit %d", missDone, hitDone)
+	}
+}
+
+func TestSharedBankContention(t *testing.T) {
+	// Two simultaneous streams queue behind each other.
+	c := New(arch.DefaultCosts())
+	_, q1 := c.Access(0, 400, 1.0)
+	done2, q2 := c.Access(0, 400, 1.0)
+	if q1 != 0 {
+		t.Fatalf("first stream queued %d", q1)
+	}
+	if q2 == 0 {
+		t.Fatal("second stream saw no bank contention")
+	}
+	if done2 < 200 {
+		t.Fatalf("second stream done at %d, want serialized past 200", done2)
+	}
+}
+
+func TestIdleGapNoContention(t *testing.T) {
+	c := New(arch.DefaultCosts())
+	c.Access(0, 400, 1.0)
+	_, q := c.Access(10_000, 400, 1.0)
+	if q != 0 {
+		t.Fatalf("well-separated access queued %d", q)
+	}
+}
+
+func TestFractionalMissCarry(t *testing.T) {
+	// With hitRatio 0.75 (exact in binary) and line size 4, each
+	// 8-word access expects 0.5 misses; after 8 accesses exactly 4
+	// misses must have occurred (deterministically, via the carry).
+	c := New(arch.DefaultCosts())
+	at := sim.Time(0)
+	for i := 0; i < 8; i++ {
+		done, _ := c.Access(at, 8, 0.75)
+		at = done
+	}
+	if c.Misses() != 4 {
+		t.Fatalf("misses = %d, want 4", c.Misses())
+	}
+}
+
+func TestMissRatioConverges(t *testing.T) {
+	c := New(arch.DefaultCosts())
+	at := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		done, _ := c.Access(at, 64, 0.75)
+		at = done
+	}
+	got := c.MissRatio()
+	if got < 0.24 || got > 0.26 {
+		t.Fatalf("long-run miss ratio = %v, want ~0.25", got)
+	}
+}
+
+func TestHitRatioClamped(t *testing.T) {
+	c := New(arch.DefaultCosts())
+	if done, _ := c.Access(0, 10, 1.5); done <= 0 {
+		t.Fatal("clamped hitRatio 1.5 produced no stall")
+	}
+	c2 := New(arch.DefaultCosts())
+	if done, _ := c2.Access(0, 10, -0.5); done <= 0 {
+		t.Fatal("clamped hitRatio -0.5 produced no stall")
+	}
+}
+
+func TestUtilizationAndQueueStats(t *testing.T) {
+	c := New(arch.DefaultCosts())
+	for i := 0; i < 8; i++ {
+		c.Access(0, 400, 1.0) // 8 simultaneous streams
+	}
+	if c.QueuedTotal() == 0 {
+		t.Fatal("no queueing recorded")
+	}
+	if u := c.Utilization(800); u <= 0.9 {
+		t.Fatalf("utilization %v, want ~1 under saturation", u)
+	}
+}
+
+func TestQuickDoneMonotoneNonNegative(t *testing.T) {
+	f := func(words []uint8, ratioRaw uint8) bool {
+		c := New(arch.DefaultCosts())
+		r := float64(ratioRaw) / 255
+		at := sim.Time(0)
+		for _, w := range words {
+			done, queued := c.Access(at, int(w%200)+1, r)
+			if queued < 0 || done < at {
+				return false
+			}
+			at += 2
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

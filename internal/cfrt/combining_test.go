@@ -1,0 +1,180 @@
+package cfrt
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestCombiningTreeShape(t *testing.T) {
+	_, _, _, rt := rig(arch.Unclustered32)
+	rt.TreeFanout = 4
+	tree := rt.newCombTree(32, 4)
+	if len(tree.leaves) != 8 {
+		t.Fatalf("leaves = %d, want 8", len(tree.leaves))
+	}
+	// 8 leaves -> 2 -> 1: three levels, 11 nodes.
+	if tree.levels != 3 {
+		t.Fatalf("levels = %d, want 3", tree.levels)
+	}
+	if len(tree.all) != 11 {
+		t.Fatalf("nodes = %d, want 11", len(tree.all))
+	}
+	// Node words live at distinct global addresses.
+	seen := map[int64]bool{}
+	for _, n := range tree.all {
+		if seen[n.addr] {
+			t.Fatalf("node address %d reused", n.addr)
+		}
+		seen[n.addr] = true
+	}
+	// Leaf needs sum to the CE count.
+	total := 0
+	for _, l := range tree.leaves {
+		total += l.need
+	}
+	if total != 32 {
+		t.Fatalf("leaf capacity = %d, want 32", total)
+	}
+}
+
+func TestCombiningTreeCompletes(t *testing.T) {
+	_, _, _, rt := rig(arch.Unclustered32)
+	rt.TreeFanout = 4
+	executed := make([]int, 128)
+	rt.Run(func(mt *Main) {
+		mt.Xdoall(&Loop{Name: "x", Outer: 1, Inner: 128,
+			Body: func(ec *ExecCtx, i int) {
+				executed[i]++
+				ec.Compute(1000)
+			}})
+	})
+	for i, n := range executed {
+		if n != 1 {
+			t.Fatalf("iteration %d ran %d times", i, n)
+		}
+	}
+	if rt.Statistics().TreeBarriers == 0 {
+		t.Fatal("tree barrier never used")
+	}
+	if rt.Statistics().FlatBarriers != 0 {
+		t.Fatal("flat barrier used despite TreeFanout")
+	}
+}
+
+func TestCombiningTreeReducesHotSpot(t *testing.T) {
+	// The tree's whole point (paper refs [15], [16]): spread the
+	// barrier traffic so no single port/module melts.
+	prog := func(mt *Main) {
+		for i := 0; i < 4; i++ {
+			mt.Xdoall(&Loop{Name: "x", Outer: 1, Inner: 64,
+				Body: func(ec *ExecCtx, i int) { ec.Compute(2000) }})
+		}
+	}
+
+	_, mFlat, _, rtFlat := rig(arch.Unclustered32)
+	rtFlat.Run(prog)
+	_, flatHot := mFlat.GM.Net().MaxPortDelay()
+
+	_, mTree, _, rtTree := rig(arch.Unclustered32)
+	rtTree.TreeFanout = 4
+	rtTree.Run(prog)
+	_, treeHot := mTree.GM.Net().MaxPortDelay()
+
+	if treeHot >= flatHot {
+		t.Fatalf("combining tree did not reduce the hot spot: flat=%d tree=%d",
+			flatHot, treeHot)
+	}
+}
+
+func TestClusteredConfigIgnoresTree(t *testing.T) {
+	_, _, _, rt := rig(arch.Cedar32)
+	rt.TreeFanout = 4
+	rt.Run(func(mt *Main) {
+		mt.Sdoall(&Loop{Name: "l", Outer: 8, Inner: 8,
+			Body: func(ec *ExecCtx, i int) { ec.Compute(500) }})
+	})
+	st := rt.Statistics()
+	if st.TreeBarriers != 0 || st.FlatBarriers != 0 {
+		t.Fatalf("clustered machine used software barriers: %+v", st)
+	}
+}
+
+func TestTreeBarrierChargesBarrierWait(t *testing.T) {
+	_, m, _, rt := rig(arch.Unclustered32)
+	rt.TreeFanout = 8
+	rt.Run(func(mt *Main) {
+		mt.Xdoall(&Loop{Name: "x", Outer: 1, Inner: 32,
+			Body: func(ec *ExecCtx, i int) {
+				ec.Compute(int64(500 + 100*(i%8)))
+			}})
+	})
+	var bw sim.Duration
+	for _, a := range m.Accounts() {
+		bw += a.Get(metrics.CatBarrierWait)
+	}
+	if bw == 0 {
+		t.Fatal("tree barrier charged no barrier-wait time")
+	}
+}
+
+func TestXdoallChunkingCoversAllIterationsOnce(t *testing.T) {
+	for _, chunk := range []int{1, 3, 8, 100} {
+		_, _, _, rt := rig(arch.Cedar32)
+		rt.XdoallChunk = chunk
+		executed := make([]int, 200)
+		rt.Run(func(mt *Main) {
+			mt.Xdoall(&Loop{Name: "x", Outer: 1, Inner: 200,
+				Body: func(ec *ExecCtx, i int) {
+					executed[i]++
+					ec.Compute(300)
+				}})
+		})
+		for i, n := range executed {
+			if n != 1 {
+				t.Fatalf("chunk %d: iteration %d executed %d times", chunk, i, n)
+			}
+		}
+	}
+}
+
+func TestXdoallChunkingReducesPickOverhead(t *testing.T) {
+	pick := func(chunk int) sim.Duration {
+		_, m, _, rt := rig(arch.Cedar32)
+		rt.XdoallChunk = chunk
+		rt.Run(func(mt *Main) {
+			mt.Xdoall(&Loop{Name: "x", Outer: 1, Inner: 512,
+				Body: func(ec *ExecCtx, i int) { ec.Compute(800) }})
+		})
+		var total sim.Duration
+		for _, a := range m.Accounts() {
+			total += a.Get(metrics.CatPickIter)
+		}
+		return total
+	}
+	unchunked := pick(1)
+	chunked := pick(8)
+	if chunked >= unchunked {
+		t.Fatalf("chunking did not reduce pick overhead: %d vs %d", chunked, unchunked)
+	}
+	if chunked > unchunked/2 {
+		t.Fatalf("chunk=8 should cut pick overhead substantially: %d vs %d", chunked, unchunked)
+	}
+}
+
+func TestXdoallChunkingReducesLockTraffic(t *testing.T) {
+	picks := func(chunk int) uint64 {
+		_, _, _, rt := rig(arch.Cedar32)
+		rt.XdoallChunk = chunk
+		rt.Run(func(mt *Main) {
+			mt.Xdoall(&Loop{Name: "x", Outer: 1, Inner: 256,
+				Body: func(ec *ExecCtx, i int) { ec.Compute(500) }})
+		})
+		return rt.Statistics().XdoallPicks
+	}
+	if p1, p8 := picks(1), picks(8); p8 >= p1/4 {
+		t.Fatalf("lock pickups barely dropped: chunk1=%d chunk8=%d", p1, p8)
+	}
+}

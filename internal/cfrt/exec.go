@@ -1,0 +1,62 @@
+package cfrt
+
+import (
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/xylem"
+)
+
+// ExecCtx is the execution context a loop body or serial section runs
+// in. Its methods charge the CE's time to the right accounting
+// category: compute cycles to the section's category (serial,
+// main-cluster loop, or s(x)doall iteration), global memory stalls to
+// the GM-stall category, cluster memory stalls to the cache-stall
+// category, and page faults wherever the OS model puts them.
+type ExecCtx struct {
+	CE  *cluster.CE
+	rt  *Runtime
+	cat metrics.Category
+}
+
+// Category returns the accounting category user work in this context
+// is charged to.
+func (ec *ExecCtx) Category() metrics.Category { return ec.cat }
+
+// Runtime returns the runtime this context executes under.
+func (ec *ExecCtx) Runtime() *Runtime { return ec.rt }
+
+// Compute spends cycles of pure computation (vector pipelines,
+// register arithmetic).
+func (ec *ExecCtx) Compute(cycles int64) {
+	ec.CE.Spend(sim.Duration(cycles), ec.cat)
+}
+
+// Global references words 8-byte words of the region at the given word
+// offset: the pages are touched (faulting on first touch) and the data
+// moves through the network and global memory, stalling the CE.
+func (ec *ExecCtx) Global(r *xylem.Region, offset int64, words int) {
+	r.Touch(ec.CE, offset, int64(words))
+	ec.CE.GMAccess(r.Addr(offset), words)
+}
+
+// ClusterMem references words of cluster memory through the shared
+// cache with the given expected hit ratio.
+func (ec *ExecCtx) ClusterMem(words int, hitRatio float64) {
+	ec.CE.CacheAccess(words, hitRatio)
+}
+
+// Poll gives the OS a preemption point (interrupt and context-switch
+// delivery).
+func (ec *ExecCtx) Poll() {
+	ec.rt.OS.Poll(ec.CE)
+}
+
+// Rand returns the simulation's deterministic random source, for
+// workload models that want body-to-body variance.
+func (ec *ExecCtx) Rand() *rand.Rand { return ec.rt.M.Kernel.Rand() }
+
+// Now returns the current virtual time.
+func (ec *ExecCtx) Now() sim.Time { return ec.CE.Now() }

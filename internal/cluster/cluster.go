@@ -1,0 +1,210 @@
+// Package cluster assembles the Cedar hardware: a Machine of one to
+// four Alliant FX/8 clusters, each with up to eight computational
+// elements (CEs), a shared data cache, and a concurrency-control bus,
+// all connected through the shuffle-exchange networks to the
+// interleaved global memory (packages network and gmem).
+//
+// A CE couples a simulation process with a time account: every cycle a
+// CE spends is charged to a metrics.Category, which is what the
+// analysis package later folds into the paper's breakdowns.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/gmem"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Machine is a full Cedar configuration under simulation.
+type Machine struct {
+	Cfg      arch.Config
+	Cost     arch.CostModel
+	Kernel   *sim.Kernel
+	GM       *gmem.Memory
+	Clusters []*Cluster
+
+	gmBrk int64 // bump allocator for global memory, in words
+}
+
+// NewMachine builds the hardware for cfg on the given kernel.
+func NewMachine(k *sim.Kernel, cfg arch.Config, cost arch.CostModel) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		Cfg:    cfg,
+		Cost:   cost,
+		Kernel: k,
+		GM:     gmem.New(cfg, cost),
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		m.Clusters = append(m.Clusters, newCluster(m, c))
+	}
+	return m
+}
+
+// AllocGM reserves words 8-byte words of global memory and returns the
+// base address (word-addressed). Allocation is a simple bump pointer;
+// the interleaving of the returned region across modules follows from
+// the address.
+func (m *Machine) AllocGM(words int64) int64 {
+	base := m.gmBrk
+	m.gmBrk += words
+	return base
+}
+
+// CE returns the CE with the given machine-wide index.
+func (m *Machine) CE(global int) *CE {
+	id := m.Cfg.CEByGlobal(global)
+	return m.Clusters[id.Cluster].CEs[id.Local]
+}
+
+// AllCEs returns every CE in machine order.
+func (m *Machine) AllCEs() []*CE {
+	out := make([]*CE, 0, m.Cfg.CEs())
+	for _, cl := range m.Clusters {
+		out = append(out, cl.CEs...)
+	}
+	return out
+}
+
+// Accounts returns every CE's account in machine order.
+func (m *Machine) Accounts() []*metrics.Account {
+	out := make([]*metrics.Account, 0, m.Cfg.CEs())
+	for _, ce := range m.AllCEs() {
+		out = append(out, ce.Acct)
+	}
+	return out
+}
+
+// Cluster is one Alliant FX/8: up to 8 CEs, a shared data cache, and
+// the concurrency-control bus that provides fast intra-cluster loop
+// distribution and synchronization.
+type Cluster struct {
+	Machine *Machine
+	ID      int
+	CEs     []*CE
+	Cache   *cache.Cache
+	// ConcBus serializes concurrency-control-bus transactions
+	// (CDOALL dispatch, cluster barrier sync).
+	ConcBus *sim.Calendar
+}
+
+func newCluster(m *Machine, id int) *Cluster {
+	cl := &Cluster{
+		Machine: m,
+		ID:      id,
+		Cache:   cache.New(m.Cost),
+		ConcBus: sim.NewCalendar(fmt.Sprintf("cbus.c%d", id)),
+	}
+	for l := 0; l < m.Cfg.CEsPerCluster; l++ {
+		id := arch.CEID{Cluster: id, Local: l}
+		cl.CEs = append(cl.CEs, &CE{
+			ID:      id,
+			Cluster: cl,
+			Acct:    metrics.NewAccount(id.Global(m.Cfg)),
+			busyCat: metrics.CatIdle,
+		})
+	}
+	return cl
+}
+
+// Lead returns the cluster's lead CE (local index 0).
+func (c *Cluster) Lead() *CE { return c.CEs[0] }
+
+// CE is one computational element: a pipelined vector processor. Its
+// Proc field is bound when the runtime spawns the CE's driver process.
+type CE struct {
+	ID      arch.CEID
+	Cluster *Cluster
+	Acct    *metrics.Account
+	Proc    *sim.Proc
+
+	busyCat metrics.Category // what the CE is doing right now (for samplers)
+}
+
+// Machine returns the machine the CE belongs to.
+func (ce *CE) Machine() *Machine { return ce.Cluster.Machine }
+
+// Global returns the machine-wide CE index.
+func (ce *CE) Global() int { return ce.ID.Global(ce.Cluster.Machine.Cfg) }
+
+// Now returns the current virtual time.
+func (ce *CE) Now() sim.Time { return ce.Proc.Now() }
+
+// Spend advances the CE d cycles, charged to category cat. While the
+// time passes, Busy reports cat (visible to sampling monitors).
+func (ce *CE) Spend(d sim.Duration, cat metrics.Category) {
+	if d <= 0 {
+		return
+	}
+	prev := ce.busyCat
+	ce.busyCat = cat
+	ce.Proc.Hold(d)
+	ce.busyCat = prev
+	ce.Acct.Add(cat, d)
+}
+
+// Busy returns the category the CE is spending time in right now, or
+// metrics.CatIdle if it is blocked or between activities.
+func (ce *CE) Busy() metrics.Category { return ce.busyCat }
+
+// SpendUntil advances the CE to absolute time t, charged to cat.
+func (ce *CE) SpendUntil(t sim.Time, cat metrics.Category) {
+	if t > ce.Now() {
+		ce.Spend(t-ce.Now(), cat)
+	}
+}
+
+// Charge records d cycles against cat without advancing time — used
+// when the wait already happened inside a blocking primitive.
+func (ce *CE) Charge(d sim.Duration, cat metrics.Category) {
+	ce.Acct.Add(cat, d)
+}
+
+// GMAccess performs a global memory access of the given word count at
+// addr and stalls the CE until the data returns. The stall is charged
+// to metrics.CatGMStall. It returns the total stall and the queueing
+// (contention) portion.
+func (ce *CE) GMAccess(addr int64, words int) (stall, queued sim.Duration) {
+	now := ce.Now()
+	done, q := ce.Machine().GM.Access(now, ce.ID, addr, words)
+	stall = done - now
+	ce.Spend(stall, metrics.CatGMStall)
+	return stall, q
+}
+
+// GMAccessAs is GMAccess but charges the stall to an explicit
+// category (e.g. CatPickIter for iteration-pickup traffic).
+func (ce *CE) GMAccessAs(addr int64, words int, cat metrics.Category) (stall, queued sim.Duration) {
+	now := ce.Now()
+	done, q := ce.Machine().GM.Access(now, ce.ID, addr, words)
+	stall = done - now
+	ce.Spend(stall, cat)
+	return stall, q
+}
+
+// CacheAccess references the cluster's shared cache for the given
+// word count with the workload's expected hit ratio, stalling the CE
+// until the banks deliver (including any queueing behind the cluster's
+// other CEs). The stall is charged to metrics.CatCacheStall.
+func (ce *CE) CacheAccess(words int, hitRatio float64) sim.Duration {
+	now := ce.Now()
+	done, _ := ce.Cluster.Cache.Access(now, words, hitRatio)
+	stall := done - now
+	ce.Spend(stall, metrics.CatCacheStall)
+	return stall
+}
+
+// ConcBusOp performs a concurrency-control-bus transaction of the
+// given cost, waiting for the bus if another transaction is in flight,
+// and charges the elapsed time to cat.
+func (ce *CE) ConcBusOp(cost int64, cat metrics.Category) {
+	now := ce.Now()
+	_, end := ce.Cluster.ConcBus.Reserve(now, sim.Duration(cost))
+	ce.SpendUntil(end, cat)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV exports for plotting the paper's figures from the regenerated
+// data (each writer produces a header plus one row per data point).
+
+// Table1CSV emits app,ces,ct_seconds,speedup,concurrency.
+func Table1CSV(sweeps []*Sweep) string {
+	var b strings.Builder
+	b.WriteString("app,ces,ct_seconds,speedup,concurrency\n")
+	for _, s := range sweeps {
+		base := s.Base()
+		for _, p := range s.Configs() {
+			r := s.Results[p]
+			speedup := 1.0
+			if p > 1 {
+				speedup = r.Speedup(base)
+			}
+			fmt.Fprintf(&b, "%s,%d,%.2f,%.3f,%.3f\n",
+				s.App, p, r.CTSeconds(), speedup, r.MachineConcurrency())
+		}
+	}
+	return b.String()
+}
+
+// Figure3CSV emits app,ces,user,system,interrupt,spin (fractions of
+// CT, main task view).
+func Figure3CSV(sweeps []*Sweep) string {
+	var b strings.Builder
+	b.WriteString("app,ces,user,system,interrupt,spin\n")
+	for _, s := range sweeps {
+		for _, p := range s.Configs() {
+			r := s.Results[p]
+			bd := r.ClusterBreakdown(0)
+			fmt.Fprintf(&b, "%s,%d,%.4f,%.4f,%.4f,%.5f\n",
+				s.App, p, bd.User, bd.System, bd.Interrupt, bd.Spin)
+		}
+	}
+	return b.String()
+}
+
+// UserTimeCSV emits the Figures 5-9 data:
+// app,ces,task,serial,mcloop,iters,setup,pick,barrier,hwait.
+func UserTimeCSV(sweeps []*Sweep) string {
+	var b strings.Builder
+	b.WriteString("app,ces,task,serial,mcloop,iters,setup,pick,barrier,hwait\n")
+	for _, s := range sweeps {
+		for _, p := range s.Configs() {
+			r := s.Results[p]
+			for c, t := range r.Tasks() {
+				name := "main"
+				if c > 0 {
+					name = fmt.Sprintf("helper%d", c)
+				}
+				fmt.Fprintf(&b, "%s,%d,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+					s.App, p, name, t.Serial, t.MCLoop, t.Iter,
+					t.Setup, t.Pick, t.Barrier, t.HelperWait)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Table2CSV emits app,activity,seconds,percent,count for the given
+// results (normally the 32-processor runs).
+func Table2CSV(results []*Result) string {
+	var b strings.Builder
+	b.WriteString("app,activity,seconds,percent,count\n")
+	for _, r := range results {
+		for _, row := range r.OSDetail() {
+			fmt.Fprintf(&b, "%s,%s,%.3f,%.3f,%d\n",
+				r.App, row.Category, row.Seconds, row.Percent, row.Count)
+		}
+	}
+	return b.String()
+}
+
+// Table4CSV emits app,ces,tp_actual,tp_ideal,ov_cont.
+func Table4CSV(sweeps []*Sweep) string {
+	var b strings.Builder
+	b.WriteString("app,ces,tp_actual_s,tp_ideal_s,ov_cont_pct\n")
+	for _, s := range sweeps {
+		base := s.Base()
+		for _, p := range s.Configs() {
+			if p == 1 {
+				continue
+			}
+			r := s.Results[p]
+			cont, err := ContentionOverhead(base, r)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%d,%.1f,%.1f,%.2f\n",
+				s.App, p, r.Seconds(cont.TpActual), r.Seconds(cont.TpIdeal), cont.OvCont)
+		}
+	}
+	return b.String()
+}
+
+// Table3CSV emits app,ces,cluster,par_concurr,avg_concurr,pf.
+func Table3CSV(sweeps []*Sweep) string {
+	var b strings.Builder
+	b.WriteString("app,ces,cluster,par_concurr,avg_concurr,pf\n")
+	for _, s := range sweeps {
+		for _, p := range s.Configs() {
+			if p == 1 {
+				continue
+			}
+			r := s.Results[p]
+			pcs := r.ParallelLoopConcurrency()
+			for c, pc := range pcs {
+				fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.3f,%.3f\n",
+					s.App, p, c, pc, r.Concurrency[c], r.ParallelFraction(c))
+			}
+		}
+	}
+	return b.String()
+}

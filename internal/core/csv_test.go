@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+func csvSweep() *Sweep {
+	mk := func(cfg arch.Config, ct sim.Time) *Result {
+		r := fake(cfg, ct)
+		r.SXWall[0] = ct / 2
+		for c := range r.Concurrency {
+			r.Concurrency[c] = 3
+			r.SXWall[c] = ct / 2
+		}
+		return r
+	}
+	return &Sweep{App: "TEST", Results: map[int]*Result{
+		1:  mk(arch.Cedar1, 1000),
+		32: mk(arch.Cedar32, 100),
+	}}
+}
+
+func rows(s string) int { return strings.Count(s, "\n") - 1 } // minus header
+
+func TestTable1CSV(t *testing.T) {
+	out := Table1CSV([]*Sweep{csvSweep()})
+	if !strings.HasPrefix(out, "app,ces,ct_seconds,speedup,concurrency\n") {
+		t.Fatalf("bad header: %q", out[:40])
+	}
+	if rows(out) != 2 {
+		t.Fatalf("rows = %d, want 2", rows(out))
+	}
+	if !strings.Contains(out, "TEST,32,") {
+		t.Fatal("missing 32p row")
+	}
+}
+
+func TestFigure3CSV(t *testing.T) {
+	out := Figure3CSV([]*Sweep{csvSweep()})
+	if rows(out) != 2 {
+		t.Fatalf("rows = %d, want 2", rows(out))
+	}
+}
+
+func TestUserTimeCSV(t *testing.T) {
+	out := UserTimeCSV([]*Sweep{csvSweep()})
+	// 1 task at 1p + 4 tasks at 32p.
+	if rows(out) != 5 {
+		t.Fatalf("rows = %d, want 5", rows(out))
+	}
+	if !strings.Contains(out, ",helper3,") {
+		t.Fatal("missing helper3 row")
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	s := csvSweep()
+	out := Table2CSV([]*Result{s.Results[32]})
+	if rows(out) != 9 {
+		t.Fatalf("rows = %d, want 9 OS activities", rows(out))
+	}
+	if !strings.Contains(out, "pg flt (c)") {
+		t.Fatal("missing fault row")
+	}
+}
+
+func TestTable3And4CSV(t *testing.T) {
+	s := csvSweep()
+	out3 := Table3CSV([]*Sweep{s})
+	if rows(out3) != 4 { // 4 clusters at 32p; 1p skipped
+		t.Fatalf("table3 rows = %d, want 4", rows(out3))
+	}
+	out4 := Table4CSV([]*Sweep{s})
+	if rows(out4) != 1 { // one multiprocessor config
+		t.Fatalf("table4 rows = %d, want 1", rows(out4))
+	}
+}
+
+func TestCSVNumbersParse(t *testing.T) {
+	// Every non-header field after the leading strings must be
+	// numeric — no stray formatting.
+	out := Table1CSV([]*Sweep{csvSweep()})
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 5 {
+			t.Fatalf("field count %d in %q", len(fields), line)
+		}
+		for _, f := range fields[1:] {
+			for _, r := range f {
+				if (r < '0' || r > '9') && r != '.' && r != '-' {
+					t.Fatalf("non-numeric field %q in %q", f, line)
+				}
+			}
+		}
+	}
+}

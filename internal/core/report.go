@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Sweep holds the results of one application across the paper's
+// configurations, keyed by total CE count, with the 1-processor run as
+// the speedup/contention base.
+type Sweep struct {
+	App     string
+	Results map[int]*Result // key: CEs
+}
+
+// Base returns the 1-processor result.
+func (s *Sweep) Base() *Result { return s.Results[1] }
+
+// Configs returns the CE counts present, ascending.
+func (s *Sweep) Configs() []int {
+	var out []int
+	for k := range s.Results {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FormatTable1 renders the Table-1 view (CTs, speedups, average
+// concurrency) for a set of application sweeps.
+func FormatTable1(sweeps []*Sweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: CTs, Speedups and Average Concurrency\n")
+	fmt.Fprintf(&b, "%-8s %-8s", "Program", "")
+	if len(sweeps) > 0 {
+		for _, p := range sweeps[0].Configs() {
+			fmt.Fprintf(&b, " %8dp", p)
+		}
+	}
+	b.WriteByte('\n')
+	for _, s := range sweeps {
+		base := s.Base()
+		fmt.Fprintf(&b, "%-8s %-8s", s.App, "CT (s)")
+		for _, p := range s.Configs() {
+			fmt.Fprintf(&b, " %9.0f", s.Results[p].CTSeconds())
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-8s %-8s", "", "Speedup")
+		for _, p := range s.Configs() {
+			if p == 1 {
+				fmt.Fprintf(&b, " %9s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %9.2f", s.Results[p].Speedup(base))
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-8s %-8s", "", "Concurr")
+		for _, p := range s.Configs() {
+			if p == 1 {
+				fmt.Fprintf(&b, " %9s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %9.2f", s.Results[p].MachineConcurrency())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFigure3 renders the completion-time breakdown (Figure 3) for
+// one application sweep: user/system/interrupt/spin per configuration,
+// main task view.
+func FormatFigure3(s *Sweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: Completion Time Breakdown — %s (main task, %% of CT)\n", s.App)
+	fmt.Fprintf(&b, "%8s %8s %8s %10s %8s %8s\n", "config", "user", "system", "interrupt", "spin", "OS total")
+	for _, p := range s.Configs() {
+		r := s.Results[p]
+		bd := r.ClusterBreakdown(0)
+		fmt.Fprintf(&b, "%7dp %7.1f%% %7.1f%% %9.1f%% %7.2f%% %7.1f%%\n",
+			p, bd.User*100, bd.System*100, bd.Interrupt*100, bd.Spin*100, bd.OSShare()*100)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the detailed OS overhead characterization
+// (Table 2) for the given results (normally the 32-processor runs).
+func FormatTable2(results []*Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Detailed Characterization of OS overheads (per-CE average)\n")
+	fmt.Fprintf(&b, "%-16s", "Overhead")
+	for _, r := range results {
+		fmt.Fprintf(&b, " %9s %6s", r.App+"(s)", "%")
+	}
+	b.WriteByte('\n')
+	for c := metrics.OSCategory(0); c < metrics.NumOSCategories; c++ {
+		fmt.Fprintf(&b, "%-16s", c.String())
+		for _, r := range results {
+			row := r.OSDetail()[c]
+			fmt.Fprintf(&b, " %9.2f %6.2f", row.Seconds, row.Percent)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatUserTime renders the Figures 5–9 user-time breakdown for one
+// application sweep: per configuration, the main (and helper) task
+// shares of the completion time.
+func FormatUserTime(s *Sweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "User Time Breakdown — %s (%% of CT; paper Figures 5-9)\n", s.App)
+	fmt.Fprintf(&b, "%8s %-8s %7s %7s %7s %7s %7s %7s %7s | %8s\n",
+		"config", "task", "serial", "mcloop", "iters", "setup", "pick", "barrier", "hwait", "ovhd")
+	for _, p := range s.Configs() {
+		r := s.Results[p]
+		for c, t := range r.Tasks() {
+			name := "main"
+			if c > 0 {
+				name = fmt.Sprintf("helper%d", c)
+			}
+			fmt.Fprintf(&b, "%7dp %-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% | %7.1f%%\n",
+				p, name,
+				t.Serial*100, t.MCLoop*100, t.Iter*100,
+				t.Setup*100, t.Pick*100, t.Barrier*100, t.HelperWait*100,
+				t.OverheadFraction()*100)
+		}
+	}
+	return b.String()
+}
+
+// FormatTable3 renders the average parallel loop concurrency table.
+func FormatTable3(sweeps []*Sweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Average Parallel Loop Concurrency (per task/cluster)\n")
+	fmt.Fprintf(&b, "%8s %-8s", "config", "task")
+	for _, s := range sweeps {
+		fmt.Fprintf(&b, " %8s", s.App)
+	}
+	b.WriteByte('\n')
+	if len(sweeps) == 0 {
+		return b.String()
+	}
+	for _, p := range sweeps[0].Configs() {
+		if p == 1 {
+			continue
+		}
+		clusters := sweeps[0].Results[p].Cfg.Clusters
+		for c := 0; c < clusters; c++ {
+			name := "Main"
+			if c > 0 {
+				name = fmt.Sprintf("helper%d", c)
+			}
+			fmt.Fprintf(&b, "%7dp %-8s", p, name)
+			for _, s := range sweeps {
+				pc := s.Results[p].ParallelLoopConcurrency()
+				fmt.Fprintf(&b, " %8.2f", pc[c])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatTable4 renders the global memory and network contention
+// overhead table.
+func FormatTable4(sweeps []*Sweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: GM and Network Contention Overhead\n")
+	fmt.Fprintf(&b, "%-8s %-14s", "Program", "")
+	for _, p := range sweeps[0].Configs() {
+		fmt.Fprintf(&b, " %8dp", p)
+	}
+	b.WriteByte('\n')
+	for _, s := range sweeps {
+		base := s.Base()
+		rowA := fmt.Sprintf("%-8s %-14s", s.App, "Tp_actual (s)")
+		rowI := fmt.Sprintf("%-8s %-14s", "", "Tp_ideal (s)")
+		rowO := fmt.Sprintf("%-8s %-14s", "", "Ov_cont (%)")
+		for _, p := range s.Configs() {
+			r := s.Results[p]
+			rowA += fmt.Sprintf(" %9.0f", r.Seconds(r.tpActual()))
+			if p == 1 {
+				rowI += fmt.Sprintf(" %9s", "-")
+				rowO += fmt.Sprintf(" %9s", "-")
+				continue
+			}
+			cont, err := ContentionOverhead(base, r)
+			if err != nil {
+				rowI += fmt.Sprintf(" %9s", "err")
+				rowO += fmt.Sprintf(" %9s", "err")
+				continue
+			}
+			rowI += fmt.Sprintf(" %9.0f", r.Seconds(cont.TpIdeal))
+			rowO += fmt.Sprintf(" %9.1f", cont.OvCont)
+		}
+		b.WriteString(rowA + "\n" + rowI + "\n" + rowO + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+// Package gmem models Cedar's shared global memory: 32 independent
+// modules, double-word (8-byte) interleaved and aligned, each taking 4
+// processor clock cycles to process a request (Sections 2 and 7 of the
+// paper). Requests reach the modules through the forward
+// shuffle-exchange network and replies return through the separate
+// return network (package network).
+//
+// Addresses are in units of 8-byte words. A vector access of W words
+// with stride 1 spreads across min(W, modules) modules; module
+// occupancy conflicts (two requests in successive cycles to the same
+// module delay the second — the paper's 1-processor example) and
+// cross-CE contention both emerge from per-module calendar
+// reservations.
+package gmem
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Memory is the global memory with its interconnection networks.
+type Memory struct {
+	cfg     arch.Config
+	cost    arch.CostModel
+	net     *network.Pair
+	modules []*sim.Calendar
+
+	accesses   uint64
+	words      uint64
+	stallTotal sim.Duration // total (completion - request) beyond zero
+	idealTotal sim.Duration // what the same accesses would cost uncontended
+}
+
+// New creates the global memory for a configuration.
+func New(cfg arch.Config, cost arch.CostModel) *Memory {
+	m := &Memory{
+		cfg:  cfg,
+		cost: cost,
+		net:  network.NewPair(cfg, cost),
+	}
+	m.modules = make([]*sim.Calendar, cfg.GMModules)
+	for i := range m.modules {
+		m.modules[i] = sim.NewCalendar(fmt.Sprintf("gm.m%d", i))
+	}
+	return m
+}
+
+// Net exposes the network pair (for hot-spot statistics).
+func (m *Memory) Net() *network.Pair { return m.net }
+
+// Module returns the module index an address maps to (double-word
+// interleaved).
+func (m *Memory) Module(addr int64) int {
+	mod := int(addr % int64(m.cfg.GMModules))
+	if mod < 0 {
+		mod += m.cfg.GMModules
+	}
+	return mod
+}
+
+// Access performs a read or write of words 8-byte words starting at
+// addr (stride 1) on behalf of the CE, with the request issued at
+// time at. It returns the completion time (data available at the CE)
+// and the portion of the elapsed time attributable to queueing
+// (network port and memory module contention).
+//
+// The CE process is expected to Hold until the returned completion
+// time and charge the stall to its account; Memory itself never
+// blocks.
+func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done sim.Time, queued sim.Duration) {
+	if words < 1 {
+		words = 1
+	}
+	m.accesses++
+	m.words += uint64(words)
+
+	// Distribute the stride-1 vector round-robin across the modules
+	// starting at the address's module, then group the touched modules
+	// by the stage-1 switch that owns them: each group's slice of the
+	// vector is an independent burst through its own ports.
+	firstModule := m.Module(addr)
+	touched := words
+	if touched > m.cfg.GMModules {
+		touched = m.cfg.GMModules
+	}
+	perModule := words / touched
+	extra := words % touched
+	d := m.cfg.SwitchDegree
+	nSwitches := (m.cfg.GMModules + d - 1) / d
+
+	inject := at + sim.Duration(m.cost.GIFLatency)
+	var qNet, qMod sim.Duration
+	var lastReady sim.Time
+
+	for g := 0; g < nSwitches; g++ {
+		// Words of this access served by group g's modules.
+		groupWords := 0
+		for i := 0; i < touched; i++ {
+			mod := (firstModule + i) % m.cfg.GMModules
+			if mod/d != g {
+				continue
+			}
+			w := perModule
+			if i < extra {
+				w++
+			}
+			groupWords += w
+		}
+		if groupWords == 0 {
+			continue
+		}
+		// Forward stage 0: the cluster's port toward group g's switch.
+		a0, q0 := m.net.Forward.Port(0, m.net.FwdStage0Port(ce, g), inject, groupWords)
+		qNet += q0
+		// Forward stage 1 and the modules themselves, per module.
+		var groupReady sim.Time
+		for i := 0; i < touched; i++ {
+			mod := (firstModule + i) % m.cfg.GMModules
+			if mod/d != g {
+				continue
+			}
+			w := perModule
+			if i < extra {
+				w++
+			}
+			a1, q1 := m.net.Forward.Port(1, m.net.FwdStage1Port(mod), a0, w)
+			qNet += q1
+			busy := sim.Duration(m.cost.ModuleLatency + int64(w)*m.cost.ModuleCyclesPerWord)
+			start, end := m.modules[mod].Reserve(a1, busy)
+			qMod += start - a1
+			if end > groupReady {
+				groupReady = end
+			}
+		}
+		// Return stage 0: the group's switch back toward the cluster.
+		r0, qr0 := m.net.Return.Port(0, m.net.RetStage0Port(g*d, ce), groupReady, groupWords)
+		qNet += qr0
+		if r0 > lastReady {
+			lastReady = r0
+		}
+	}
+
+	// Return stage 1: every reply word funnels through the CE's own
+	// data link.
+	back, qr1 := m.net.Return.Port(1, m.net.RetStage1Port(ce), lastReady, words)
+	qNet += qr1
+	done = back + sim.Duration(m.cost.GIFLatency)
+
+	// Per-component queue delays (qNet, qMod) overlap in time across
+	// the fanned-out slices, so their sum overstates the damage; the
+	// access's contention is its critical-path excess over the
+	// uncontended latency.
+	_ = qMod
+	queued = done - at - m.IdealLatency(words)
+	if queued < 0 {
+		queued = 0
+	}
+	m.stallTotal += done - at
+	m.idealTotal += done - at - queued
+	return done, queued
+}
+
+// IdealLatency returns the zero-contention completion time for an
+// access of the given size — the minimum memory access latency of the
+// configuration, which the paper notes is identical across all Cedar
+// configurations.
+func (m *Memory) IdealLatency(words int) sim.Duration {
+	if words < 1 {
+		words = 1
+	}
+	touched := words
+	if touched > m.cfg.GMModules {
+		touched = m.cfg.GMModules
+	}
+	perModule := (words + touched - 1) / touched
+	d := m.cfg.SwitchDegree
+	groups := (touched + d - 1) / d
+	perGroup := (words + groups - 1) / groups
+	// Mirror Access with zero queueing: stage-0 burst of the group
+	// slice, stage-1 burst of the module slice, module occupancy,
+	// return group burst, then the full vector through the CE's link;
+	// one stage latency per stage per direction.
+	lat := 2*sim.Duration(m.cost.GIFLatency) +
+		sim.Duration(2*int64(m.cfg.NetStages)*m.cost.StageLatency) +
+		sim.Duration(2*int64(perGroup)*m.cost.PortCyclesPerWord) + // fwd+ret stage-0
+		sim.Duration(int64(perModule)*m.cost.PortCyclesPerWord) + // fwd stage-1
+		sim.Duration(m.cost.ModuleLatency+int64(perModule)*m.cost.ModuleCyclesPerWord) +
+		sim.Duration(int64(words)*m.cost.PortCyclesPerWord) // CE return link
+	return lat
+}
+
+// Stats summarizes traffic and contention observed by the memory.
+type Stats struct {
+	Accesses     uint64
+	Words        uint64
+	StallTotal   sim.Duration // total request-to-completion time
+	IdealTotal   sim.Duration // same, minus queueing
+	ModuleDelay  sim.Duration // queueing at modules only
+	NetworkDelay sim.Duration // queueing at network ports only
+}
+
+// Stats returns the memory's aggregate statistics.
+func (m *Memory) Stats() Stats {
+	st := Stats{
+		Accesses:   m.accesses,
+		Words:      m.words,
+		StallTotal: m.stallTotal,
+		IdealTotal: m.idealTotal,
+	}
+	for _, mod := range m.modules {
+		st.ModuleDelay += mod.DelayTotal()
+	}
+	st.NetworkDelay = m.net.Stats().DelayTotal
+	return st
+}
+
+// ModuleUtilization returns per-module busy fractions at time now —
+// useful for spotting hot modules in tests and the trace tool.
+func (m *Memory) ModuleUtilization(now sim.Time) []float64 {
+	out := make([]float64, len(m.modules))
+	for i, mod := range m.modules {
+		out[i] = mod.Utilization(now)
+	}
+	return out
+}

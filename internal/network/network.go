@@ -1,0 +1,201 @@
+// Package network models Cedar's interconnection network: a two-stage
+// shuffle-exchange network built from 8x8 crossbar switches, with one
+// network for the forward path (CEs to global memory) and a separate
+// one for the return path (global memory to CEs), exactly as Section 2
+// of the paper describes.
+//
+// Each crossbar output port is a pipelined bandwidth resource
+// (sim.Calendar). A message of W words occupies a port for
+// W*PortCyclesPerWord cycles; queueing at ports is the network half of
+// the paper's "global memory and network contention" overhead, and
+// hot spots (many CEs targeting one module, e.g. a busy-wait barrier
+// through global memory) emerge as deep port and module queues.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// Net is one direction of the Cedar interconnection network.
+type Net struct {
+	cfg  arch.Config
+	cost arch.CostModel
+	// ports[s][i] is output port i of stage s. Stage 0 is the input
+	// stage. For the forward net, stage-1 output ports feed the
+	// memory modules; for the return net they feed the CEs.
+	ports [][]*sim.Calendar
+}
+
+// newNet builds one direction with the given name prefix.
+func newNet(cfg arch.Config, cost arch.CostModel, dir string) *Net {
+	n := &Net{cfg: cfg, cost: cost}
+	n.ports = make([][]*sim.Calendar, cfg.NetStages)
+	// Endpoint count on the memory side is GMModules; on the CE side
+	// the wiring supports the full machine (4 clusters x 8 CEs = 32)
+	// regardless of how many CEs the configuration populates —
+	// "the different Cedar configurations ... use the same
+	// interconnection network and memory".
+	width := cfg.GMModules
+	for s := 0; s < cfg.NetStages; s++ {
+		n.ports[s] = make([]*sim.Calendar, width)
+		for i := 0; i < width; i++ {
+			n.ports[s][i] = sim.NewCalendar(fmt.Sprintf("%s.s%d.p%d", dir, s, i))
+		}
+	}
+	return n
+}
+
+// Forward and Return are the two directions of the network pair.
+type Pair struct {
+	Forward *Net
+	Return  *Net
+}
+
+// NewPair builds the forward and return networks.
+func NewPair(cfg arch.Config, cost arch.CostModel) *Pair {
+	return &Pair{
+		Forward: newNet(cfg, cost, "fwd"),
+		Return:  newNet(cfg, cost, "ret"),
+	}
+}
+
+// fwdRoute returns the output-port indices a message from the given CE
+// to the given module traverses, one per stage.
+//
+// Stage 0: the CE's cluster feeds switch `cluster`; the output port
+// selects the stage-1 switch that owns the module (module/degree).
+// Stage 1: switch module/degree; the output port is the module itself.
+func (n *Net) fwdRoute(ce arch.CEID, module int) [2]int {
+	d := n.cfg.SwitchDegree
+	s1Switch := module / d
+	return [2]int{
+		ce.Cluster*d + s1Switch, // stage-0 port: (input switch, output toward s1Switch)
+		module,                  // stage-1 port: toward the module
+	}
+}
+
+// revRoute is the mirror route from a module back to a CE.
+func (n *Net) revRoute(module int, ce arch.CEID) [2]int {
+	d := n.cfg.SwitchDegree
+	s1Switch := ce.Cluster // return stage-1 switch that owns the cluster
+	return [2]int{
+		(module/d)*d + s1Switch, // stage-0 port on the module-side switch toward the cluster's switch
+		ce.Cluster*d + ce.Local, // stage-1 port: toward the CE
+	}
+}
+
+// Transit carries a message of the given word count across the
+// network in the forward direction, departing no earlier than at.
+// It returns the time the message has fully arrived at the module side
+// and the queueing delay suffered at ports (the contention component).
+func (p *Pair) Transit(at sim.Time, ce arch.CEID, module int, words int) (arrive sim.Time, queued sim.Duration) {
+	return p.Forward.transit(at, p.Forward.fwdRoute(ce, module), words)
+}
+
+// TransitBack carries a reply of the given word count from the module
+// back to the CE.
+func (p *Pair) TransitBack(at sim.Time, module int, ce arch.CEID, words int) (arrive sim.Time, queued sim.Duration) {
+	return p.Return.transit(at, p.Return.revRoute(module, ce), words)
+}
+
+func (n *Net) transit(at sim.Time, route [2]int, words int) (sim.Time, sim.Duration) {
+	if words < 1 {
+		words = 1
+	}
+	busy := sim.Duration(int64(words) * n.cost.PortCyclesPerWord)
+	var queued sim.Duration
+	t := at
+	for s := 0; s < n.cfg.NetStages && s < len(route); s++ {
+		start, end := n.ports[s][route[s]].Reserve(t, busy)
+		queued += start - t
+		// The head of the message moves on after the stage latency;
+		// the tail clears the port at end. The next stage can begin
+		// accepting at head arrival, but cannot finish before the tail
+		// has passed, so we propagate the tail time plus latency.
+		t = end + sim.Duration(n.cost.StageLatency)
+	}
+	return t, queued
+}
+
+// Port reserves one specific output port of one stage for a
+// words-long burst departing no earlier than at. Vector accesses use
+// this to fan a stride-1 stream out across the stage-1 switches (each
+// slice of the vector traverses a different port), which is how the
+// real shuffle-exchange network carries interleaved vectors.
+// It returns the time the burst has cleared the port plus the stage
+// transit latency, and the queueing delay.
+func (n *Net) Port(stage, port int, at sim.Time, words int) (sim.Time, sim.Duration) {
+	if words < 1 {
+		words = 1
+	}
+	busy := sim.Duration(int64(words) * n.cost.PortCyclesPerWord)
+	start, end := n.ports[stage][port].Reserve(at, busy)
+	return end + sim.Duration(n.cost.StageLatency), start - at
+}
+
+// FwdStage0Port returns the forward stage-0 port index a message from
+// the CE's cluster takes toward stage-1 switch s1.
+func (p *Pair) FwdStage0Port(ce arch.CEID, s1 int) int {
+	return ce.Cluster*p.Forward.cfg.SwitchDegree + s1
+}
+
+// FwdStage1Port returns the forward stage-1 port index feeding the
+// module.
+func (p *Pair) FwdStage1Port(module int) int { return module }
+
+// RetStage0Port returns the return stage-0 port index from the
+// module's switch toward the CE's cluster.
+func (p *Pair) RetStage0Port(module int, ce arch.CEID) int {
+	d := p.Return.cfg.SwitchDegree
+	return (module/d)*d + ce.Cluster
+}
+
+// RetStage1Port returns the return stage-1 port index feeding the CE —
+// the CE's private data link, which every reply word funnels through.
+func (p *Pair) RetStage1Port(ce arch.CEID) int {
+	return ce.Cluster*p.Return.cfg.SwitchDegree + ce.Local
+}
+
+// PortStats aggregates calendar statistics over all ports of both
+// directions — the network's total contribution to contention.
+type PortStats struct {
+	Reservations uint64
+	BusyTotal    sim.Duration
+	DelayTotal   sim.Duration
+	Delayed      uint64
+}
+
+// Stats returns aggregate port statistics for the pair.
+func (p *Pair) Stats() PortStats {
+	var st PortStats
+	for _, n := range []*Net{p.Forward, p.Return} {
+		for _, stage := range n.ports {
+			for _, port := range stage {
+				st.Reservations += port.Reservations()
+				st.BusyTotal += port.BusyTotal()
+				st.DelayTotal += port.DelayTotal()
+				st.Delayed += port.Delayed()
+			}
+		}
+	}
+	return st
+}
+
+// MaxPortDelay returns the largest cumulative queueing delay on any
+// single port — a hot-spot indicator.
+func (p *Pair) MaxPortDelay() (name string, delay sim.Duration) {
+	for _, n := range []*Net{p.Forward, p.Return} {
+		for _, stage := range n.ports {
+			for _, port := range stage {
+				if port.DelayTotal() > delay {
+					delay = port.DelayTotal()
+					name = port.Name()
+				}
+			}
+		}
+	}
+	return name, delay
+}

@@ -1,0 +1,143 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+func pair() *Pair { return NewPair(arch.Cedar32, arch.DefaultCosts()) }
+
+func TestFwdRouteDistinctModulesDistinctFinalPorts(t *testing.T) {
+	p := pair()
+	ce := arch.CEID{Cluster: 0, Local: 0}
+	seen := map[int]bool{}
+	for m := 0; m < 32; m++ {
+		r := p.Forward.fwdRoute(ce, m)
+		if r[1] != m {
+			t.Fatalf("module %d routed to final port %d", m, r[1])
+		}
+		if seen[r[1]] {
+			t.Fatalf("final port %d reused", r[1])
+		}
+		seen[r[1]] = true
+	}
+}
+
+func TestFwdRouteClusterOwnsStage0Switch(t *testing.T) {
+	p := pair()
+	cfg := arch.Cedar32
+	for g := 0; g < cfg.CEs(); g++ {
+		id := cfg.CEByGlobal(g)
+		for m := 0; m < 32; m++ {
+			r := p.Forward.fwdRoute(id, m)
+			if sw := r[0] / cfg.SwitchDegree; sw != id.Cluster {
+				t.Fatalf("CE %v module %d uses stage-0 switch %d, want %d", id, m, sw, id.Cluster)
+			}
+		}
+	}
+}
+
+func TestRevRouteReachesCE(t *testing.T) {
+	p := pair()
+	cfg := arch.Cedar32
+	for g := 0; g < cfg.CEs(); g++ {
+		id := cfg.CEByGlobal(g)
+		r := p.Return.revRoute(17, id)
+		if want := id.Cluster*cfg.SwitchDegree + id.Local; r[1] != want {
+			t.Fatalf("CE %v final return port %d, want %d", id, r[1], want)
+		}
+	}
+}
+
+func TestTransitUncontendedLatency(t *testing.T) {
+	p := pair()
+	cost := arch.DefaultCosts()
+	ce := arch.CEID{Cluster: 1, Local: 3}
+	arrive, queued := p.Transit(100, ce, 9, 1)
+	if queued != 0 {
+		t.Fatalf("uncontended transit queued %d", queued)
+	}
+	// Two stages: each costs port occupancy (1 word) + stage latency.
+	want := sim.Time(100) + 2*sim.Duration(cost.PortCyclesPerWord+cost.StageLatency)
+	if arrive != want {
+		t.Fatalf("arrive = %d, want %d", arrive, want)
+	}
+}
+
+func TestTransitContentionOnSharedPort(t *testing.T) {
+	p := pair()
+	ce0 := arch.CEID{Cluster: 0, Local: 0}
+	ce1 := arch.CEID{Cluster: 0, Local: 1}
+	// Same cluster, same target module: both messages traverse the
+	// same stage-0 output port and the same stage-1 port.
+	a1, q1 := p.Transit(0, ce0, 5, 64)
+	a2, q2 := p.Transit(0, ce1, 5, 64)
+	if q1 != 0 {
+		t.Fatalf("first message queued %d", q1)
+	}
+	if q2 == 0 {
+		t.Fatal("second message saw no contention on shared route")
+	}
+	if a2 <= a1 {
+		t.Fatalf("second arrival %d not after first %d", a2, a1)
+	}
+}
+
+func TestTransitNoContentionOnDisjointRoutes(t *testing.T) {
+	p := pair()
+	// Different clusters, different stage-1 switches (modules 0 and 8).
+	a, q1 := p.Transit(0, arch.CEID{Cluster: 0, Local: 0}, 0, 64)
+	b, q2 := p.Transit(0, arch.CEID{Cluster: 1, Local: 0}, 8, 64)
+	if q1 != 0 || q2 != 0 {
+		t.Fatalf("disjoint routes queued %d, %d", q1, q2)
+	}
+	if a != b {
+		t.Fatalf("disjoint equal-size transits differ: %d vs %d", a, b)
+	}
+}
+
+func TestHotSpotDetection(t *testing.T) {
+	p := pair()
+	cfg := arch.Cedar32
+	// All 32 CEs hammer module 7 — the Pfister/Norton hot spot.
+	for g := 0; g < cfg.CEs(); g++ {
+		p.Transit(0, cfg.CEByGlobal(g), 7, 16)
+	}
+	name, delay := p.MaxPortDelay()
+	if delay == 0 {
+		t.Fatal("hot spot produced no port delay")
+	}
+	if name == "" {
+		t.Fatal("hot port unnamed")
+	}
+	st := p.Stats()
+	if st.DelayTotal < delay {
+		t.Fatalf("aggregate delay %d < max port delay %d", st.DelayTotal, delay)
+	}
+}
+
+func TestQuickTransitMonotone(t *testing.T) {
+	// Arrival is never before departure plus the zero-load latency,
+	// and queued is never negative.
+	cost := arch.DefaultCosts()
+	minLatency := 2 * sim.Duration(cost.PortCyclesPerWord+cost.StageLatency)
+	f := func(ces []uint8, words uint8) bool {
+		p := pair()
+		w := int(words%128) + 1
+		for _, raw := range ces {
+			ce := arch.Cedar32.CEByGlobal(int(raw) % 32)
+			mod := int(raw) % 32
+			arrive, queued := p.Transit(1000, ce, mod, w)
+			if queued < 0 || arrive < 1000+minLatency {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package perfect
+
+// The five applications, modeled from Section 2 of the paper:
+//
+//	"The application FLO52 only uses the hierarchical SDOALL/CDOALL
+//	construct; ADM uses only the flat XDOALL construct; the other
+//	applications use both ... The applications also have a few main
+//	cluster-only loops."
+//
+// Loop shapes and intensities are calibrated against Tables 1, 3, 4
+// (speedup curves, parallel-loop concurrency, contention overheads);
+// see EXPERIMENTS.md for the paper-vs-model record.
+
+// FLO52 — transonic flow past an airfoil (multigrid Euler solver).
+// SDOALL/CDOALL only. Modest loop iteration counts (grids shrink at
+// coarser multigrid levels) give it the poorest concurrency of the
+// five, and its vector-heavy global memory traffic gives it the
+// highest contention overhead (17-27% across configurations).
+func FLO52() App {
+	return App{
+		Name:          "FLO52",
+		Steps:         8,
+		DataWords:     76 * 1024,
+		CacheHitRatio: 0.92,
+		Phases: []Phase{
+			{Kind: PhaseSerial, Name: "resid-setup", Work: 50_000, GMWords: 256},
+			{Kind: PhaseSX, Name: "fine-sweep", Repeat: 6,
+				Outer: 12, Inner: 16, Work: 500, WorkJitter: 0.15,
+				GMWords: 160, ClusWords: 300},
+			{Kind: PhaseSX, Name: "coarse-sweep", Repeat: 4,
+				Outer: 6, Inner: 10, Work: 400, WorkJitter: 0.2,
+				GMWords: 112, ClusWords: 240},
+			{Kind: PhaseMC, Name: "boundary", Repeat: 1,
+				Outer: 1, Inner: 16, Work: 1200, GMWords: 48, ClusWords: 128},
+			{Kind: PhaseSerial, Name: "converge-check", Work: 16_000, GMWords: 128},
+		},
+	}
+}
+
+// ARC2D — implicit finite-difference fluid dynamics (2-D Euler).
+// Uses both constructs; large, fairly regular loops give it good (but
+// sublinear) scaling and moderate contention.
+func ARC2D() App {
+	return App{
+		Name:          "ARC2D",
+		Steps:         8,
+		DataWords:     80 * 1024,
+		CacheHitRatio: 0.9,
+		Phases: []Phase{
+			{Kind: PhaseSerial, Name: "step-setup", Work: 30_000, GMWords: 128},
+			{Kind: PhaseSX, Name: "x-sweep", Repeat: 5,
+				Outer: 16, Inner: 16, Work: 1500, WorkJitter: 0.1,
+				GMWords: 96, ClusWords: 160},
+			{Kind: PhaseX, Name: "pentadiag", Repeat: 3,
+				Outer: 1, Inner: 192, Work: 1400, WorkJitter: 0.1,
+				GMWords: 64, ClusWords: 128},
+			{Kind: PhaseMC, Name: "filter", Repeat: 1,
+				Outer: 1, Inner: 24, Work: 1400, GMWords: 32, ClusWords: 48},
+		},
+	}
+}
+
+// MDG — molecular dynamics of water. Very high degree of parallelism
+// (many independent molecule pairs): near-linear speedups, the lightest
+// global traffic per unit work, and the least serial code.
+func MDG() App {
+	return App{
+		Name:          "MDG",
+		Steps:         8,
+		DataWords:     48 * 1024,
+		CacheHitRatio: 0.95,
+		Phases: []Phase{
+			{Kind: PhaseSerial, Name: "neighbor-update", Work: 12_000, GMWords: 64},
+			{Kind: PhaseSX, Name: "forces", Repeat: 6,
+				Outer: 32, Inner: 24, Work: 3000, WorkJitter: 0.08,
+				GMWords: 224, GMStride: 16, ClusWords: 280},
+			{Kind: PhaseX, Name: "pair-corr", Repeat: 2,
+				Outer: 1, Inner: 512, Work: 2600, WorkJitter: 0.08,
+				GMWords: 176, GMStride: 12, ClusWords: 240},
+		},
+	}
+}
+
+// OCEAN — 2-D ocean basin simulation (spectral/FFT style). Near-linear
+// to 8 processors, then limited by loop counts that divide poorly
+// across four clusters.
+func OCEAN() App {
+	return App{
+		Name:          "OCEAN",
+		Steps:         8,
+		DataWords:     56 * 1024,
+		CacheHitRatio: 0.9,
+		Phases: []Phase{
+			{Kind: PhaseSerial, Name: "spectral-setup", Work: 12_000, GMWords: 64},
+			{Kind: PhaseSX, Name: "ft-rows", Repeat: 5,
+				Outer: 12, Inner: 16, Work: 2500, WorkJitter: 0.1,
+				GMWords: 72, ClusWords: 120},
+			{Kind: PhaseX, Name: "ft-cols", Repeat: 3,
+				Outer: 1, Inner: 72, Work: 2200, WorkJitter: 0.45,
+				GMWords: 64, ClusWords: 128},
+			{Kind: PhaseMCAcross, Name: "timestep-update", Repeat: 1,
+				Outer: 1, Inner: 16, Work: 1200, GMWords: 16,
+				ClusWords: 32, SerialCycles: 300},
+		},
+	}
+}
+
+// ADM — pseudospectral air pollution model. XDOALL only: every loop's
+// iterations are picked through the global iteration lock, so the
+// distribution overhead grows with processor count and the speedup
+// flattens between 16 and 32 processors (8.52 -> 8.84 in the paper).
+func ADM() App {
+	return App{
+		Name:          "ADM",
+		Steps:         8,
+		DataWords:     24 * 1024,
+		CacheHitRatio: 0.92,
+		Phases: []Phase{
+			{Kind: PhaseSerial, Name: "bc-setup", Work: 50_000, GMWords: 64},
+			{Kind: PhaseX, Name: "vertical", Repeat: 6,
+				Outer: 1, Inner: 48, Work: 3000, WorkJitter: 0.15,
+				GMWords: 64, ClusWords: 80},
+			{Kind: PhaseX, Name: "horizontal", Repeat: 4,
+				Outer: 1, Inner: 40, Work: 2600, WorkJitter: 0.15,
+				GMWords: 56, ClusWords: 72},
+		},
+	}
+}
+
+// Apps returns the five applications in the paper's order.
+func Apps() []App {
+	return []App{FLO52(), ARC2D(), MDG(), OCEAN(), ADM()}
+}
+
+// ByName returns the app with the given (case-sensitive) name.
+func ByName(name string) (App, bool) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}

@@ -1,0 +1,121 @@
+package perfect
+
+import "fmt"
+
+// SyntheticSpec describes a single-kernel synthetic workload — the
+// knob set used by the ablation experiments (clustered vs flat
+// machines, barrier mechanisms, loop merging, construct choice).
+type SyntheticSpec struct {
+	// Name labels the app (defaults to "synthetic").
+	Name string
+	// Steps is the timestep count (default 4).
+	Steps int
+	// LoopsPerStep is how many parallel loops run per timestep
+	// (default 1). More loops at the same total work means more
+	// barriers — finer granularity.
+	LoopsPerStep int
+	// Kind is the loop construct (default PhaseSX).
+	Kind PhaseKind
+	// Outer and Inner shape the loop (defaults 4 and 16).
+	Outer, Inner int
+	// Work is compute cycles per iteration (default 2000).
+	Work int64
+	// Jitter is the per-iteration work variance fraction.
+	Jitter float64
+	// GMWords and ClusWords are per-iteration memory references.
+	GMWords, ClusWords int
+	// SerialWork is serial cycles per timestep (default 0).
+	SerialWork int64
+	// DataWords is the global footprint (default: sized to the loop).
+	DataWords int64
+}
+
+// App materializes the spec.
+func (s SyntheticSpec) App() App {
+	if s.Name == "" {
+		s.Name = "synthetic"
+	}
+	if s.Steps < 1 {
+		s.Steps = 4
+	}
+	if s.LoopsPerStep < 1 {
+		s.LoopsPerStep = 1
+	}
+	if s.Outer < 1 {
+		s.Outer = 4
+	}
+	if s.Inner < 1 {
+		s.Inner = 16
+	}
+	if s.Work == 0 {
+		s.Work = 2000
+	}
+	var phases []Phase
+	if s.SerialWork > 0 {
+		phases = append(phases, Phase{
+			Kind: PhaseSerial, Name: s.Name + ".serial",
+			Work: s.SerialWork, GMWords: 64,
+		})
+	}
+	kind := s.Kind
+	if kind == PhaseSerial {
+		kind = PhaseSX
+	}
+	phases = append(phases, Phase{
+		Kind: kind, Name: s.Name + ".loop", Repeat: s.LoopsPerStep,
+		Outer: s.Outer, Inner: s.Inner,
+		Work: s.Work, WorkJitter: s.Jitter,
+		GMWords: s.GMWords, ClusWords: s.ClusWords,
+	})
+	data := s.DataWords
+	if data == 0 {
+		data = int64(s.Outer*s.Inner*maxIntGen(s.GMWords, 8)) + 4096
+	}
+	return App{
+		Name:          s.Name,
+		Steps:         s.Steps,
+		DataWords:     data,
+		CacheHitRatio: 0.9,
+		Phases:        phases,
+	}
+}
+
+// FineGrained returns a barrier-heavy workload: many small
+// cross-cluster loops per step, the regime where the paper's
+// clustering argument (localized synchronization, no hot spots) has
+// the most force.
+func FineGrained() App {
+	return SyntheticSpec{
+		Name:         "finegrain",
+		Steps:        4,
+		LoopsPerStep: 24,
+		Outer:        4, Inner: 8,
+		Work: 900, Jitter: 0.1,
+		GMWords: 48, ClusWords: 32,
+	}.App()
+}
+
+// CoarseGrained returns the opposite regime: few large loops, where
+// barrier cost is amortized and flat self-scheduling balances best.
+func CoarseGrained() App {
+	return SyntheticSpec{
+		Name:         "coarsegrain",
+		Steps:        4,
+		LoopsPerStep: 2,
+		Outer:        8, Inner: 48,
+		Work: 2500, Jitter: 0.1,
+		GMWords: 48, ClusWords: 32,
+	}.App()
+}
+
+func maxIntGen(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String implements fmt.Stringer.
+func (s SyntheticSpec) String() string {
+	return fmt.Sprintf("%s{%dx(%dx%d)@%dcy}", s.Name, s.LoopsPerStep, s.Outer, s.Inner, s.Work)
+}

@@ -1,0 +1,142 @@
+package perfect
+
+// Published measurements from the paper, used to (a) normalize
+// 1-processor completion times, (b) drive paper-vs-model comparisons
+// in tests, EXPERIMENTS.md, and the table generator.
+
+// PaperRow1 is one application's row group in Table 1.
+type PaperRow1 struct {
+	CT      map[int]float64 // seconds, by CE count
+	Speedup map[int]float64
+	Concurr map[int]float64
+}
+
+// PaperTable1 is the paper's Table 1.
+var PaperTable1 = map[string]PaperRow1{
+	"FLO52": {
+		CT:      map[int]float64{1: 613, 4: 214, 8: 145, 16: 96, 32: 73},
+		Speedup: map[int]float64{4: 2.86, 8: 4.23, 16: 6.39, 32: 8.40},
+		Concurr: map[int]float64{4: 3.49, 8: 6.11, 16: 9.66, 32: 14.82},
+	},
+	"ARC2D": {
+		CT:      map[int]float64{1: 2139, 4: 593, 8: 342, 16: 203, 32: 142},
+		Speedup: map[int]float64{4: 3.61, 8: 6.25, 16: 10.54, 32: 15.06},
+		Concurr: map[int]float64{4: 3.70, 8: 6.82, 16: 12.28, 32: 20.56},
+	},
+	"MDG": {
+		CT:      map[int]float64{1: 4935, 4: 1260, 8: 663, 16: 346, 32: 202},
+		Speedup: map[int]float64{4: 3.89, 8: 7.44, 16: 14.26, 32: 24.43},
+		Concurr: map[int]float64{4: 3.92, 8: 7.60, 16: 15.14, 32: 28.82},
+	},
+	"OCEAN": {
+		CT:      map[int]float64{1: 2726, 4: 711, 8: 381, 16: 230, 32: 175},
+		Speedup: map[int]float64{4: 3.83, 8: 7.16, 16: 11.85, 32: 15.58},
+		Concurr: map[int]float64{4: 3.86, 8: 7.53, 16: 12.98, 32: 17.27},
+	},
+	"ADM": {
+		CT:      map[int]float64{1: 707, 4: 208, 8: 121, 16: 83, 32: 80},
+		Speedup: map[int]float64{4: 3.40, 8: 5.84, 16: 8.52, 32: 8.84},
+		Concurr: map[int]float64{4: 3.46, 8: 6.06, 16: 9.42, 32: 13.56},
+	},
+}
+
+// PaperTable2Row is one OS activity's (seconds, percent) for the
+// 4-cluster Cedar in Table 2.
+type PaperTable2Row struct {
+	Seconds float64
+	Percent float64
+}
+
+// PaperTable2 is the paper's Table 2 (FLO52, ARC2D, MDG on 32
+// processors). Keys are the paper's row labels.
+var PaperTable2 = map[string]map[string]PaperTable2Row{
+	"FLO52": {
+		"cpi":            {3.48, 4.70},
+		"ctx":            {1.68, 2.30},
+		"pg flt (c)":     {2.22, 3.04},
+		"pg flt (s)":     {1.64, 2.25},
+		"Cr Sect (clus)": {1.17, 1.60},
+		"Cr Sect (glbl)": {0.23, 0.33},
+		"clus syscall":   {0.26, 0.35},
+		"glbl syscall":   {0.04, 0.05},
+		"ast":            {0.03, 0.04},
+	},
+	"ARC2D": {
+		"cpi":            {5.62, 3.95},
+		"ctx":            {2.91, 2.04},
+		"pg flt (c)":     {3.73, 2.62},
+		"pg flt (s)":     {2.20, 1.54},
+		"Cr Sect (clus)": {3.43, 2.77},
+		"Cr Sect (glbl)": {1.18, 0.83},
+		"clus syscall":   {0.84, 0.59},
+		"glbl syscall":   {0.05, 0.04},
+		"ast":            {0.18, 0.13},
+	},
+	"MDG": {
+		"cpi":            {2.42, 1.18},
+		"ctx":            {3.72, 1.84},
+		"pg flt (c)":     {1.54, 0.76},
+		"pg flt (s)":     {0.48, 0.23},
+		"Cr Sect (clus)": {2.42, 1.18},
+		"Cr Sect (glbl)": {0.80, 0.39},
+		"clus syscall":   {0.48, 0.28},
+		"glbl syscall":   {0.03, 0.01},
+		"ast":            {0.05, 0.02},
+	},
+}
+
+// PaperTable3 is the average parallel loop concurrency (per
+// task/cluster). Keyed by app, then CE count; values are per-cluster
+// (main first, then helpers).
+var PaperTable3 = map[string]map[int][]float64{
+	"FLO52": {4: {3.88}, 8: {7.28}, 16: {7.01, 5.93}, 32: {6.85, 6.51, 6.34, 6.25}},
+	"ARC2D": {4: {3.94}, 8: {7.64}, 16: {7.63, 7.45}, 32: {7.62, 7.15, 7.16, 7.18}},
+	"MDG":   {4: {3.96}, 8: {7.79}, 16: {7.88, 7.84}, 32: {7.98, 7.89, 7.92, 7.95}},
+	"OCEAN": {4: {3.92}, 8: {7.88}, 16: {7.42, 7.62}, 32: {5.74, 5.59, 5.61, 5.58}},
+	"ADM":   {4: {3.96}, 8: {7.93}, 16: {7.55, 7.45}, 32: {5.89, 5.94, 5.91, 5.83}},
+}
+
+// PaperTable4Row is one application's Table 4 data.
+type PaperTable4Row struct {
+	TpActual map[int]float64 // seconds
+	TpIdeal  map[int]float64
+	OvCont   map[int]float64 // percent of CT
+}
+
+// PaperTable4 is the paper's Table 4.
+var PaperTable4 = map[string]PaperTable4Row{
+	"FLO52": {
+		TpActual: map[int]float64{1: 574, 4: 185, 8: 118, 16: 68, 32: 37},
+		TpIdeal:  map[int]float64{4: 148, 8: 79, 16: 45, 32: 22},
+		OvCont:   map[int]float64{4: 17, 8: 27, 16: 24, 32: 21},
+	},
+	"ARC2D": {
+		TpActual: map[int]float64{1: 2067, 4: 545, 8: 300, 16: 160, 32: 94},
+		TpIdeal:  map[int]float64{4: 525, 8: 270, 16: 139, 32: 74},
+		OvCont:   map[int]float64{4: 3.4, 8: 8.8, 16: 10.3, 32: 14.1},
+	},
+	"MDG": {
+		TpActual: map[int]float64{1: 4800, 4: 1228, 8: 643, 16: 330, 32: 178},
+		TpIdeal:  map[int]float64{4: 1212, 8: 616, 16: 305, 32: 151},
+		OvCont:   map[int]float64{4: 1.3, 8: 4.1, 16: 7.2, 32: 13.4},
+	},
+	"OCEAN": {
+		TpActual: map[int]float64{1: 2647, 4: 701, 8: 360, 16: 195, 32: 133},
+		TpIdeal:  map[int]float64{4: 675, 8: 336, 16: 177, 32: 120},
+		OvCont:   map[int]float64{4: 3.5, 8: 6.3, 16: 8.0, 32: 7.4},
+	},
+	"ADM": {
+		TpActual: map[int]float64{1: 663, 4: 171, 8: 89, 16: 51, 32: 43},
+		TpIdeal:  map[int]float64{4: 167, 8: 84, 16: 46, 32: 33},
+		OvCont:   map[int]float64{4: 1.9, 8: 4.1, 16: 5.9, 32: 12.5},
+	},
+}
+
+// PaperCT1 returns the paper's 1-processor completion time for the
+// app, used to normalize reported seconds.
+func PaperCT1(app string) float64 {
+	if row, ok := PaperTable1[app]; ok {
+		return row.CT[1]
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package sim
+
+// Cond is a condition variable for simulation processes. Unlike
+// sync.Cond there is no associated lock: the simulation is
+// single-threaded in virtual time, so checking a predicate and calling
+// Wait is atomic by construction.
+type Cond struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+
+	signals uint64
+}
+
+// NewCond creates a condition variable.
+func NewCond(k *Kernel, name string) *Cond {
+	return &Cond{k: k, name: name}
+}
+
+// Name returns the condition's diagnostic name.
+func (c *Cond) Name() string { return c.name }
+
+// Waiters returns the number of processes currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Signals returns the number of Signal/Broadcast wakeups delivered.
+func (c *Cond) Signals() uint64 { return c.signals }
+
+// Wait blocks the process until Signal or Broadcast wakes it. It
+// returns the time spent waiting. As with any condition variable, the
+// caller must re-check its predicate after waking.
+func (c *Cond) Wait(p *Proc) Duration {
+	p.checkRunning("Cond.Wait")
+	start := c.k.now
+	c.waiters = append(c.waiters, p)
+	p.block()
+	return c.k.now - start
+}
+
+// WaitTimeout blocks until a signal or until d cycles elapse,
+// whichever is first. It returns the time waited and whether the wait
+// timed out.
+func (c *Cond) WaitTimeout(p *Proc, d Duration) (Duration, bool) {
+	p.checkRunning("Cond.WaitTimeout")
+	start := c.k.now
+	c.waiters = append(c.waiters, p)
+	timedOut := false
+	ev := c.k.After(d, func() {
+		// Only fires if we were not signaled first.
+		for i, w := range c.waiters {
+			if w == p {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				timedOut = true
+				c.k.wake(p)
+				return
+			}
+		}
+	})
+	p.block()
+	if !timedOut {
+		ev.Cancel()
+	}
+	return c.k.now - start, timedOut
+}
+
+// Signal wakes the longest-waiting process, if any. It reports whether
+// a process was woken.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	head := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.signals++
+	c.k.wake(head)
+	return true
+}
+
+// Broadcast wakes every waiting process. It returns the number woken.
+func (c *Cond) Broadcast() int {
+	n := len(c.waiters)
+	for _, w := range c.waiters {
+		c.signals++
+		c.k.wake(w)
+	}
+	c.waiters = c.waiters[:0]
+	return n
+}

@@ -1,0 +1,238 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel in virtual time.
+//
+// The kernel drives coroutine processes (see Proc) one at a time, so a
+// simulation is fully deterministic even though each process runs on
+// its own goroutine: exactly one goroutine is ever runnable, and event
+// ordering is total (time, then insertion sequence).
+//
+// Virtual time is counted in integer cycles (Time). The kernel makes
+// no reference to wall-clock time, so measurements taken inside a
+// simulation are immune to Go runtime effects (GC pauses, scheduler
+// jitter) — the property that makes this substrate suitable for
+// reproducing a hardware measurement study.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in cycles.
+type Time int64
+
+// Duration is a span of virtual time, in cycles. It is the same
+// underlying type as Time; the alias exists purely for documentation.
+type Duration = Time
+
+// Forever is a time later than any event a simulation will schedule.
+const Forever Time = 1<<62 - 1
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// Time returns the virtual time at which the event fires (or would
+// have fired, if canceled).
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an event that has
+// already fired or was already canceled is a no-op. It reports whether
+// the cancellation took effect.
+func (e *Event) Cancel() bool {
+	if e.fired || e.canceled {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running *Proc
+	yielded chan struct{}
+	procs   []*Proc
+	live    int // procs spawned and not yet finished
+	fatal   error
+	rng     *rand.Rand
+
+	dispatched uint64 // events fired, for introspection/tests
+}
+
+// NewKernel returns a kernel with its virtual clock at zero and a
+// deterministic random source seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	k := &Kernel{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. Models must
+// use this source (never the global one) so runs are reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// EventsFired returns the number of events dispatched so far.
+func (k *Kernel) EventsFired() uint64 { return k.dispatched }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling
+// in the past is an error and panics: the kernel's clock never runs
+// backwards.
+func (k *Kernel) Schedule(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, k.now))
+	}
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After registers fn to run d cycles from now.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.Schedule(k.now+d, fn)
+}
+
+// Run processes events in time order until the event queue is empty or
+// the next event is later than until. It returns the number of events
+// fired. Processes left blocked on conditions or resources simply stay
+// blocked; use LiveProcs/BlockedProcs to detect them, or Shutdown to
+// terminate them.
+func (k *Kernel) Run(until Time) uint64 {
+	var fired uint64
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&k.events)
+		if next.canceled {
+			continue
+		}
+		if next.at < k.now {
+			panic("sim: event queue time went backwards")
+		}
+		k.now = next.at
+		next.fired = true
+		next.fn()
+		fired++
+		k.dispatched++
+		if k.fatal != nil {
+			panic(k.fatal)
+		}
+	}
+	return fired
+}
+
+// RunAll runs until no events remain.
+func (k *Kernel) RunAll() uint64 { return k.Run(Forever) }
+
+// Idle reports whether no events are pending.
+func (k *Kernel) Idle() bool {
+	for _, e := range k.events {
+		if !e.canceled {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveProcs returns the number of spawned processes that have not yet
+// finished.
+func (k *Kernel) LiveProcs() int { return k.live }
+
+// BlockedProcs returns the processes currently blocked (waiting on a
+// condition or resource, with no wake event scheduled).
+func (k *Kernel) BlockedProcs() []*Proc {
+	var out []*Proc
+	for _, p := range k.procs {
+		if p.state == stateBlocked {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Shutdown aborts every process that is still alive. Each blocked or
+// scheduled process is resumed with its aborted flag set; the blocking
+// primitive it was sleeping in panics with ErrAborted, which the
+// process wrapper swallows. After Shutdown returns, no process
+// goroutines remain. Shutdown must not be called from inside a
+// process.
+func (k *Kernel) Shutdown() {
+	if k.running != nil {
+		panic("sim: Shutdown called from inside a process")
+	}
+	for _, p := range k.procs {
+		if p.state == stateDone {
+			continue
+		}
+		p.aborted = true
+		if p.state == stateBlocked || p.state == stateScheduled || p.state == stateNew {
+			k.resume(p)
+		}
+	}
+	k.procs = k.procs[:0]
+}
+
+// wake schedules p to resume at the current time. It is the primitive
+// used by resources and conditions to hand control back to a blocked
+// process.
+func (k *Kernel) wake(p *Proc) {
+	if p.state != stateBlocked {
+		panic("sim: wake of non-blocked proc " + p.name)
+	}
+	p.state = stateScheduled
+	k.Schedule(k.now, func() { k.resume(p) })
+}
+
+// resume transfers control to p and waits for it to yield back.
+func (k *Kernel) resume(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	prev := k.running
+	k.running = p
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-k.yielded
+	k.running = prev
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.Schedule(30, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 2) })
+	k.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", k.Now())
+	}
+}
+
+func TestScheduleTieBreakFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { got = append(got, i) })
+	}
+	k.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(10, func() {})
+	k.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.Schedule(5, func() {})
+}
+
+func TestEventCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.Schedule(10, func() { fired = true })
+	if !e.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if e.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	k.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		k.Schedule(at, func() { fired = append(fired, at) })
+	}
+	n := k.Run(12)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("Run(12) fired %d events (%v), want 2", n, fired)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", k.Now())
+	}
+	k.RunAll()
+	if len(fired) != 4 {
+		t.Fatalf("RunAll left events behind: %v", fired)
+	}
+}
+
+func TestProcHold(t *testing.T) {
+	k := NewKernel(1)
+	var at []Time
+	k.Spawn("p", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Hold(100)
+		at = append(at, p.Now())
+		p.Hold(50)
+		at = append(at, p.Now())
+	})
+	k.RunAll()
+	want := []Time{0, 100, 150}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("hold times = %v, want %v", at, want)
+		}
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestProcHoldZeroDoesNotYield(t *testing.T) {
+	k := NewKernel(1)
+	order := []string{}
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Hold(0)
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) { order = append(order, "b") })
+	k.RunAll()
+	if order[0] != "a1" || order[1] != "a2" || order[2] != "b" {
+		t.Fatalf("Hold(0) yielded: %v", order)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := NewKernel(1)
+	var trace []string
+	mk := func(name string, step Duration) {
+		k.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Hold(step)
+				trace = append(trace, name)
+			}
+		})
+	}
+	mk("a", 10)
+	mk("b", 15)
+	k.RunAll()
+	// a wakes at 10, 20, 30; b wakes at 15, 30, 45. At t=30, b's wake
+	// event was scheduled earlier (at t=15) than a's (at t=20), so b
+	// fires first.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("boom", func(p *Proc) {
+		p.Hold(5)
+		panic("kaboom")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("process panic did not propagate to Run")
+		}
+	}()
+	k.RunAll()
+}
+
+func TestHoldNegativePanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("p", func(p *Proc) { p.Hold(-1) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Hold did not panic")
+		}
+	}()
+	k.RunAll()
+}
+
+func TestShutdownUnblocksAll(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k, "never")
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) { c.Wait(p) })
+	}
+	k.RunAll()
+	if got := len(k.BlockedProcs()); got != 5 {
+		t.Fatalf("blocked procs = %d, want 5", got)
+	}
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs after Shutdown = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestShutdownRunsDeferredCleanup(t *testing.T) {
+	k := NewKernel(1)
+	cleaned := false
+	c := NewCond(k, "never")
+	k.Spawn("w", func(p *Proc) {
+		defer func() {
+			cleaned = true
+			// The abort panic must still be in flight; re-panic so the
+			// wrapper sees it.
+			if r := recover(); r != nil {
+				panic(r)
+			}
+		}()
+		c.Wait(p)
+	})
+	k.RunAll()
+	k.Shutdown()
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run during Shutdown")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel(42)
+		var stamps []Time
+		r := NewResource(k, "r", 2)
+		for i := 0; i < 8; i++ {
+			k.Spawn("p", func(p *Proc) {
+				p.Hold(Duration(k.Rand().Intn(20)))
+				r.Acquire(p)
+				p.Hold(7)
+				r.Release()
+				stamps = append(stamps, p.Now())
+			})
+		}
+		k.RunAll()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run not deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := NewKernel(7)
+		var fired []Time
+		var max Time
+		for _, r := range raw {
+			at := Time(r)
+			if at > max {
+				max = at
+			}
+			k.Schedule(at, func() { fired = append(fired, k.Now()) })
+		}
+		k.RunAll()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(raw) == 0 || k.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a chain of Holds advances the clock by exactly the sum.
+func TestQuickHoldSum(t *testing.T) {
+	f := func(raw []uint8) bool {
+		k := NewKernel(7)
+		var sum Time
+		for _, r := range raw {
+			sum += Time(r)
+		}
+		done := false
+		k.Spawn("p", func(p *Proc) {
+			for _, r := range raw {
+				p.Hold(Duration(r))
+			}
+			done = p.Now() == sum
+		})
+		k.RunAll()
+		return done
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

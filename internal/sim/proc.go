@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAborted is the panic value delivered inside a process when the
+// kernel shuts it down via Kernel.Shutdown. Process bodies normally
+// never observe it: the process wrapper recovers it.
+var ErrAborted = errors.New("sim: process aborted")
+
+type procState int
+
+const (
+	stateNew       procState = iota // spawned, start event pending
+	stateRunning                    // currently executing
+	stateScheduled                  // wake event pending
+	stateBlocked                    // waiting on a condition/resource
+	stateDone                       // body returned
+)
+
+// Proc is a simulation process: a coroutine whose body runs in virtual
+// time. A process advances the clock by calling Hold and synchronizes
+// with other processes through Resource and Cond. All Proc methods
+// must be called from the process's own body.
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	resume  chan struct{}
+	state   procState
+	aborted bool
+
+	// holdTotal accumulates all time spent in Hold, for tests and
+	// sanity checks.
+	holdTotal Duration
+}
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time. The name is used in diagnostics only.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			r := recover()
+			p.state = stateDone
+			k.live--
+			if r != nil && r != ErrAborted && k.fatal == nil {
+				k.fatal = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			k.yielded <- struct{}{}
+		}()
+		if p.aborted {
+			panic(ErrAborted)
+		}
+		fn(p)
+	}()
+	p.state = stateScheduled
+	k.Schedule(k.now, func() { k.resume(p) })
+	return p
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's kernel-assigned id (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// HoldTotal returns the total virtual time this process has spent in
+// Hold calls.
+func (p *Proc) HoldTotal() Duration { return p.holdTotal }
+
+// checkRunning panics unless p is the currently executing process.
+func (p *Proc) checkRunning(op string) {
+	if p.k.running != p {
+		panic(fmt.Sprintf("sim: %s called on %q from outside the process", op, p.name))
+	}
+}
+
+// Hold advances the process d cycles of virtual time. Other events and
+// processes run in the meantime. Hold(0) is a no-op that does not
+// yield.
+func (p *Proc) Hold(d Duration) {
+	p.checkRunning("Hold")
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %q Hold(%d): negative duration", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.holdTotal += d
+	p.state = stateScheduled
+	p.k.Schedule(p.k.now+d, func() { p.k.resume(p) })
+	p.yield()
+}
+
+// HoldUntil advances the process to absolute time t (no-op if t is not
+// in the future).
+func (p *Proc) HoldUntil(t Time) {
+	if t > p.k.now {
+		p.Hold(t - p.k.now)
+	}
+}
+
+// Yield gives other processes and events scheduled at the current time
+// a chance to run before p continues.
+func (p *Proc) Yield() {
+	p.checkRunning("Yield")
+	p.state = stateScheduled
+	p.k.Schedule(p.k.now, func() { p.k.resume(p) })
+	p.yield()
+}
+
+// block parks the process with no wake event scheduled. Something else
+// (a Cond signal, a Resource grant) must call Kernel.wake later.
+func (p *Proc) block() {
+	p.checkRunning("block")
+	p.state = stateBlocked
+	p.yield()
+}
+
+// yield hands control back to the kernel and waits to be resumed.
+// On resume after an abort, it panics with ErrAborted so that the
+// process unwinds through whatever primitive it was sleeping in.
+func (p *Proc) yield() {
+	k := p.k
+	k.yielded <- struct{}{}
+	<-p.resume
+	if p.aborted {
+		panic(ErrAborted)
+	}
+}

@@ -1,0 +1,211 @@
+package xylem
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func rig(cfg arch.Config) (*sim.Kernel, *cluster.Machine, *OS) {
+	k := sim.NewKernel(1)
+	m := cluster.NewMachine(k, cfg, arch.DefaultCosts())
+	return k, m, New(m)
+}
+
+// bind spawns a driver process for the CE and runs body on it.
+func bind(k *sim.Kernel, ce *cluster.CE, body func()) {
+	k.Spawn(ce.ID.String(), func(p *sim.Proc) {
+		ce.Proc = p
+		body()
+	})
+}
+
+func TestSequentialFault(t *testing.T) {
+	k, m, o := rig(arch.Cedar1)
+	r := o.NewRegion("data", 10_000)
+	ce := m.CE(0)
+	bind(k, ce, func() {
+		if d := r.Touch(ce, 0, 8); d == 0 {
+			t.Error("first touch did not fault")
+		}
+		if d := r.Touch(ce, 0, 8); d != 0 {
+			t.Errorf("second touch faulted again: %d", d)
+		}
+	})
+	k.RunAll()
+	if o.SeqFaults() != 1 || o.ConcFaults() != 0 {
+		t.Fatalf("seq=%d conc=%d, want 1,0", o.SeqFaults(), o.ConcFaults())
+	}
+	if o.Brk.Time[metrics.OSPgFltSeq] == 0 {
+		t.Fatal("no seq fault time recorded")
+	}
+	if ce.Acct.Get(metrics.CatOSSystem) == 0 {
+		t.Fatal("fault not charged as system time")
+	}
+}
+
+func TestConcurrentFault(t *testing.T) {
+	k, m, o := rig(arch.Cedar8)
+	r := o.NewRegion("data", 10_000)
+	for g := 0; g < 4; g++ {
+		ce := m.CE(g)
+		bind(k, ce, func() {
+			r.Touch(ce, 0, 8) // all four hit page 0 at t=0
+		})
+	}
+	k.RunAll()
+	o.FlushAccounting() // CPIs pend until the next preemption point
+	// Owner + 3 joiners, all concurrent.
+	if o.ConcFaults() != 4 || o.SeqFaults() != 0 {
+		t.Fatalf("conc=%d seq=%d, want 4,0", o.ConcFaults(), o.SeqFaults())
+	}
+	if o.Brk.Time[metrics.OSPgFltConc] == 0 {
+		t.Fatal("no concurrent fault time")
+	}
+	if o.Brk.Time[metrics.OSCpi] == 0 {
+		t.Fatal("concurrent fault issued no CPI")
+	}
+}
+
+func TestConcurrentFaultCostsMoreThanSequential(t *testing.T) {
+	// Per-participant cost of a concurrent fault exceeds a sequential
+	// fault, as the paper observes.
+	k1, m1, o1 := rig(arch.Cedar1)
+	r1 := o1.NewRegion("d", 10_000)
+	ce1 := m1.CE(0)
+	var seqCost sim.Duration
+	bind(k1, ce1, func() { seqCost = r1.Touch(ce1, 0, 8) })
+	k1.RunAll()
+
+	k2, m2, o2 := rig(arch.Cedar8)
+	r2 := o2.NewRegion("d", 10_000)
+	var worst sim.Duration
+	for g := 0; g < 4; g++ {
+		ce := m2.CE(g)
+		bind(k2, ce, func() {
+			if d := r2.Touch(ce, 0, 8); d > worst {
+				worst = d
+			}
+		})
+	}
+	k2.RunAll()
+	if worst <= seqCost {
+		t.Fatalf("concurrent participant cost %d not > sequential %d", worst, seqCost)
+	}
+}
+
+func TestTouchSpansMultiplePages(t *testing.T) {
+	k, m, o := rig(arch.Cedar1)
+	pageWords := o.Cost.PageBytes / 8
+	r := o.NewRegion("data", pageWords*4)
+	ce := m.CE(0)
+	bind(k, ce, func() {
+		r.Touch(ce, 0, pageWords*3)
+	})
+	k.RunAll()
+	if got := r.MappedPages(0); got != 3 {
+		t.Fatalf("mapped pages = %d, want 3", got)
+	}
+	if o.SeqFaults() != 3 {
+		t.Fatalf("seq faults = %d, want 3", o.SeqFaults())
+	}
+}
+
+func TestSyscallsCharged(t *testing.T) {
+	k, m, o := rig(arch.Cedar4)
+	ce := m.CE(0)
+	bind(k, ce, func() {
+		o.ClusterSyscall(ce)
+		o.GlobalSyscall(ce)
+	})
+	k.RunAll()
+	if o.Brk.Count[metrics.OSClusSyscall] != 1 || o.Brk.Count[metrics.OSGlblSyscall] != 1 {
+		t.Fatal("syscall counts wrong")
+	}
+	if o.Brk.Time[metrics.OSGlblSyscall] <= o.Brk.Time[metrics.OSClusSyscall] {
+		t.Fatal("global syscall should cost more than cluster syscall")
+	}
+}
+
+func TestKernelLockSpinAccounted(t *testing.T) {
+	k, m, o := rig(arch.Cedar8)
+	for g := 0; g < 8; g++ {
+		ce := m.CE(g)
+		bind(k, ce, func() {
+			o.ClusterCritSect(ce)
+		})
+	}
+	k.RunAll()
+	var spin sim.Duration
+	for _, a := range m.Accounts() {
+		spin += a.Get(metrics.CatOSSpin)
+	}
+	if spin == 0 {
+		t.Fatal("8 CEs contending a cluster lock recorded no kernel spin")
+	}
+}
+
+func TestSchedTickDeliversCtxAndCPI(t *testing.T) {
+	k, m, o := rig(arch.Cedar4)
+	o.Start()
+	ce := m.CE(0)
+	bind(k, ce, func() {
+		// Simulate a long-running computation that polls the OS.
+		for i := 0; i < 100; i++ {
+			ce.Proc.Hold(sim.Duration(o.Cost.SchedTickCycles / 10))
+			o.Poll(ce)
+		}
+	})
+	k.Run(20 * sim.Time(o.Cost.SchedTickCycles))
+	o.Stop()
+	if o.Brk.Count[metrics.OSCtx] == 0 {
+		t.Fatal("no context switches delivered")
+	}
+	if o.Brk.Count[metrics.OSCpi] == 0 {
+		t.Fatal("no CPIs delivered")
+	}
+	if ce.Acct.Get(metrics.CatOSSystem) == 0 || ce.Acct.Get(metrics.CatOSInterrupt) == 0 {
+		t.Fatal("tick work not charged to system+interrupt")
+	}
+}
+
+func TestStopCancelsTicks(t *testing.T) {
+	k, _, o := rig(arch.Cedar4)
+	o.Start()
+	o.Stop()
+	k.RunAll()
+	if o.Brk.Total() != 0 {
+		t.Fatal("ticks ran after Stop")
+	}
+}
+
+func TestFlushAccounting(t *testing.T) {
+	k, m, o := rig(arch.Cedar4)
+	o.Start()
+	// Let one tick accrue with nobody polling.
+	k.Run(sim.Time(o.Cost.SchedTickCycles) + 10)
+	o.Stop()
+	before := o.Brk.Count[metrics.OSCtx]
+	o.FlushAccounting()
+	if o.Brk.Count[metrics.OSCtx] <= before {
+		t.Fatal("FlushAccounting did not record pending work")
+	}
+	if k.Now() > sim.Time(o.Cost.SchedTickCycles)+10 {
+		t.Fatal("FlushAccounting advanced the clock")
+	}
+	if m.CE(0).Acct.Get(metrics.CatOSSystem) == 0 {
+		t.Fatal("flush did not charge accounts")
+	}
+}
+
+func TestRegionAllocationDisjoint(t *testing.T) {
+	_, _, o := rig(arch.Cedar1)
+	a := o.NewRegion("a", 5000)
+	b := o.NewRegion("b", 5000)
+	if a.Base+a.Words > b.Base {
+		t.Fatalf("regions overlap: a=[%d,%d) b starts %d", a.Base, a.Base+a.Words, b.Base)
+	}
+}
