@@ -20,6 +20,7 @@ import (
 	"repro/internal/cfrt"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hpm"
 	"repro/internal/perfect"
 	"repro/internal/sim"
@@ -54,7 +55,24 @@ type Options struct {
 	// XdoallChunk, when > 1, claims chunks of XDOALL iterations per
 	// global-lock pickup, amortizing the distribution overhead.
 	XdoallChunk int
+	// Faults is a plan of hardware/OS faults to inject at their
+	// virtual times (degraded-mode simulation). Validated against the
+	// configuration before the run starts.
+	Faults faults.Plan
+	// MaxCycles aborts the simulation with sim.ErrCycleBudget when
+	// virtual time would pass it (0: unlimited). A guard rail for
+	// fault plans that slow the machine pathologically.
+	MaxCycles sim.Time
+	// WatchdogInterval sets how often the kernel checks for a wedged
+	// simulation (every live process blocked, no progress), reporting
+	// sim.ErrDeadlock. Zero uses a default of 10M cycles (0.5 s of
+	// virtual time); negative disables the watchdog.
+	WatchdogInterval sim.Duration
 }
+
+// defaultWatchdog is the deadlock-check period when
+// Options.WatchdogInterval is zero.
+const defaultWatchdog = 10_000_000
 
 func (o Options) seed(app perfect.App, cfg arch.Config) int64 {
 	if o.Seed != 0 {
@@ -70,27 +88,59 @@ func (o Options) seed(app perfect.App, cfg arch.Config) int64 {
 // callers (tools, tests) that want to inspect traces or hardware
 // statistics beyond the analysis result.
 type Run struct {
-	Result  *core.Result
-	Machine *cluster.Machine
-	OS      *xylem.OS
-	RT      *cfrt.Runtime
-	Monitor *hpm.Monitor // nil unless Options.TraceCapacity > 0
+	Result   *core.Result
+	Machine  *cluster.Machine
+	OS       *xylem.OS
+	RT       *cfrt.Runtime
+	Monitor  *hpm.Monitor     // nil unless Options.TraceCapacity > 0
+	Injector *faults.Injector // nil unless Options.Faults was set
 }
 
 // Simulate runs one application on one configuration and returns the
 // analysis result. The result's Scale is 1 (raw simulated seconds);
-// Sweep sets the paper normalization.
+// Sweep sets the paper normalization. It panics on invalid input or a
+// failed simulation; SimulateErr is the error-returning form.
 func Simulate(app perfect.App, cfg arch.Config, opts Options) *core.Result {
 	return SimulateRun(app, cfg, opts).Result
 }
 
-// SimulateRun is Simulate, returning the live simulation objects too.
+// SimulateErr is Simulate with error reporting instead of panics:
+// invalid apps, configurations, and fault plans come back as errors,
+// and so do simulation failures (sim.ErrDeadlock, sim.ErrCycleBudget,
+// process panics) — check with errors.Is. On a simulation error the
+// returned Run still carries the partial result for inspection.
+func SimulateErr(app perfect.App, cfg arch.Config, opts Options) (*core.Result, error) {
+	run, err := SimulateRunErr(app, cfg, opts)
+	if run == nil {
+		return nil, err
+	}
+	return run.Result, err
+}
+
+// SimulateRun is SimulateRunErr, panicking on error.
 func SimulateRun(app perfect.App, cfg arch.Config, opts Options) *Run {
-	if err := app.Validate(); err != nil {
+	run, err := SimulateRunErr(app, cfg, opts)
+	if err != nil {
 		panic(err)
 	}
+	return run
+}
+
+// SimulateRunErr runs one application on one configuration, applying
+// any fault plan in the options, and returns the live simulation
+// objects alongside the analysis result. Simulation failures are
+// returned as errors; when the simulation itself ran but ended
+// abnormally (deadlock, cycle budget), the Run is returned too, with
+// accounting collected up to the failure point.
+func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
+	}
+	if err := opts.Faults.Validate(cfg); err != nil {
+		return nil, err
 	}
 	if opts.Steps > 0 {
 		app = app.WithSteps(opts.Steps)
@@ -101,6 +151,16 @@ func SimulateRun(app perfect.App, cfg arch.Config, opts Options) *Run {
 	}
 
 	k := sim.NewKernel(opts.seed(app, cfg))
+	if opts.MaxCycles > 0 {
+		k.SetMaxCycles(opts.MaxCycles)
+	}
+	if opts.WatchdogInterval >= 0 {
+		interval := opts.WatchdogInterval
+		if interval == 0 {
+			interval = defaultWatchdog
+		}
+		k.SetWatchdog(interval)
+	}
 	m := cluster.NewMachine(k, cfg, costs)
 	o := xylem.New(m)
 
@@ -115,6 +175,12 @@ func SimulateRun(app perfect.App, cfg arch.Config, opts Options) *Run {
 	rt.TreeFanout = opts.TreeFanout
 	rt.XdoallChunk = opts.XdoallChunk
 
+	var inj *faults.Injector
+	if len(opts.Faults) > 0 {
+		inj = &faults.Injector{M: m, OS: o, Mon: mon, OnCEFail: rt.NotifyCEFailure}
+		inj.Arm(opts.Faults)
+	}
+
 	var sampler *statfx.Sampler
 	if opts.SamplerInterval >= 0 {
 		interval := opts.SamplerInterval
@@ -126,10 +192,14 @@ func SimulateRun(app perfect.App, cfg arch.Config, opts Options) *Run {
 	}
 
 	region := o.NewRegion(app.Name+".data", app.DataWords)
-	rt.Run(app.Program(region))
+	_, err := rt.RunErr(app.Program(region))
+	if sampler != nil {
+		sampler.Stop() // idempotent; error paths never reached OnFinish
+	}
 
 	res := core.Collect(app.Name, 1, rt, sampler)
-	return &Run{Result: res, Machine: m, OS: o, RT: rt, Monitor: mon}
+	run := &Run{Result: res, Machine: m, OS: o, RT: rt, Monitor: mon, Injector: inj}
+	return run, err
 }
 
 // Sweep runs the app across the paper's five configurations and
@@ -164,6 +234,53 @@ func normalize(s *core.Sweep) {
 	for _, r := range s.Results {
 		r.Scale = scale
 	}
+}
+
+// FaultReport is one FaultSweep entry: the degraded run under one
+// fault plan plus its decomposition against the healthy baseline. Err
+// is set when the degraded run ended abnormally (e.g. sim.ErrDeadlock
+// from a plan that kills the machine); Run still carries the partial
+// accounting then.
+type FaultReport struct {
+	Plan   faults.Plan
+	Run    *Run
+	Report *core.DegradedReport // nil when Err is set
+	Err    error
+}
+
+// FaultSweep runs the application once healthy on the configuration
+// (the baseline) and once per fault plan, comparing each degraded run
+// against the baseline with the paper's overhead decomposition (the
+// 1-processor run supplies the contention base). Runs use the same
+// deterministic seeds as Simulate, so a sweep is reproducible run to
+// run. Baseline failures abort the sweep; per-plan failures are
+// recorded in the report and the sweep continues.
+func FaultSweep(app perfect.App, cfg arch.Config, plans []faults.Plan, opts Options) ([]*FaultReport, error) {
+	healthy := opts
+	healthy.Faults = nil
+	base1p, err := SimulateErr(app, arch.Cedar1, healthy)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := SimulateErr(app, cfg, healthy)
+	if err != nil {
+		return nil, err
+	}
+	var out []*FaultReport
+	for _, plan := range plans {
+		po := opts
+		po.Faults = plan
+		fr := &FaultReport{Plan: plan}
+		run, err := SimulateRunErr(app, cfg, po)
+		fr.Run = run
+		if err != nil {
+			fr.Err = err
+		} else {
+			fr.Report, fr.Err = core.CompareDegraded(base1p, baseline, run.Result, plan.String())
+		}
+		out = append(out, fr)
+	}
+	return out, nil
 }
 
 // AllSweeps runs every paper application across every configuration.

@@ -8,9 +8,14 @@
 // Usage:
 //
 //	cedarsim [-app FLO52] [-ces 32] [-steps N] [-flat] [-no-baseline]
+//	         [-fault ce:2@1e6,module:17@5e5]
+//
+// With -fault, the run is repeated healthy and degraded and a
+// baseline-vs-degraded overhead-decomposition delta table is printed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +23,19 @@ import (
 	cedar "repro"
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/perfect"
+	"repro/internal/sim"
 )
+
+// usageErr prints the message plus flag usage and exits with status 2
+// (bad invocation).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cedarsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	appName := flag.String("app", "FLO52", "application: FLO52, ARC2D, MDG, OCEAN, ADM")
@@ -30,7 +45,31 @@ func main() {
 	noBase := flag.Bool("no-baseline", false, "skip the 1-processor baseline (no contention estimate)")
 	chunk := flag.Int("chunk", 0, "XDOALL pickup chunk size (>1 amortizes the iteration lock)")
 	tree := flag.Int("tree", 0, "combining-tree fanout for the flat machine's barriers (>1 enables)")
+	faultSpec := flag.String("fault", "", "fault plan, e.g. ce:2@1e6,module:17@5e5 (see internal/faults)")
 	flag.Parse()
+
+	if *steps < 0 {
+		usageErr("-steps %d is negative", *steps)
+	}
+	if *chunk < 0 {
+		usageErr("-chunk %d is negative", *chunk)
+	}
+	if *tree < 0 {
+		usageErr("-tree %d is negative", *tree)
+	}
+	if *flat {
+		// -flat fixes the machine at 32 unclustered CEs; an explicit
+		// contradictory -ces is a mistake, not something to ignore.
+		explicitCEs := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "ces" {
+				explicitCEs = true
+			}
+		})
+		if explicitCEs && *ces != 32 {
+			usageErr("-flat implies 32 CEs; contradictory -ces %d", *ces)
+		}
+	}
 
 	app, ok := perfect.ByName(*appName)
 	if !ok {
@@ -56,6 +95,12 @@ func main() {
 	}
 
 	opts := cedar.Options{Steps: *steps, XdoallChunk: *chunk, TreeFanout: *tree}
+
+	if *faultSpec != "" {
+		runFaulted(app, cfg, opts, *faultSpec)
+		return
+	}
+
 	res := cedar.Simulate(app, cfg, opts)
 
 	var base *core.Result
@@ -129,4 +174,43 @@ func main() {
 	}
 	fmt.Printf("\nkernel lock spin (machine total): %.3f%% of CT x CEs\n",
 		spin/float64(int64(res.CT)*int64(cfg.CEs()))*100)
+}
+
+// runFaulted runs the degraded-vs-baseline comparison for one fault
+// plan and prints the decomposition delta table.
+func runFaulted(app perfect.App, cfg arch.Config, opts cedar.Options, spec string) {
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		usageErr("%v", err)
+	}
+	if err := plan.Validate(cfg); err != nil {
+		usageErr("%v", err)
+	}
+
+	fmt.Printf("%s on %s (%d CEs), fault plan %s\n\n", app.Name, cfg.Name, cfg.CEs(), plan)
+	reports, err := cedar.FaultSweep(app, cfg, []faults.Plan{plan}, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: baseline run failed: %v\n", err)
+		os.Exit(1)
+	}
+	fr := reports[0]
+	if fr.Run != nil && fr.Run.Injector != nil {
+		fmt.Println("Fault activations:")
+		for _, a := range fr.Run.Injector.Applied() {
+			fmt.Printf("  cycle %-12d %s\n", int64(a.At), a.Note)
+		}
+		fmt.Println()
+	}
+	if fr.Err != nil {
+		switch {
+		case errors.Is(fr.Err, sim.ErrDeadlock):
+			fmt.Fprintf(os.Stderr, "cedarsim: degraded run deadlocked: %v\n", fr.Err)
+		case errors.Is(fr.Err, sim.ErrCycleBudget):
+			fmt.Fprintf(os.Stderr, "cedarsim: degraded run exceeded cycle budget: %v\n", fr.Err)
+		default:
+			fmt.Fprintf(os.Stderr, "cedarsim: degraded run failed: %v\n", fr.Err)
+		}
+		os.Exit(1)
+	}
+	fmt.Print(core.FormatDegraded(fr.Report))
 }

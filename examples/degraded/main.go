@@ -1,0 +1,55 @@
+// Degraded-mode simulation: FLO52 on the 4-cluster/32-processor Cedar
+// losing one CE per cluster mid-run, compared against the healthy
+// machine with the paper's overhead decomposition. The failed CEs are
+// the last of each cluster (never a cluster lead, so every cluster
+// task keeps running); each cluster's CDOALLs then self-schedule over
+// seven CEs instead of eight.
+//
+//	go run ./examples/degraded
+package main
+
+import (
+	"fmt"
+	"os"
+
+	cedar "repro"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/perfect"
+)
+
+func main() {
+	app := perfect.FLO52()
+	cfg := arch.Cedar32
+
+	// One fail-stop per cluster at 1M cycles (50 ms of virtual time):
+	// the last CE of each cluster, machine-wide ids 7, 15, 23, 31.
+	var plan faults.Plan
+	for c := 0; c < cfg.Clusters; c++ {
+		plan = append(plan, faults.Event{
+			Kind:   faults.CEFail,
+			Target: c*cfg.CEsPerCluster + cfg.CEsPerCluster - 1,
+			At:     1_000_000,
+		})
+	}
+
+	reports, err := cedar.FaultSweep(app, cfg, []faults.Plan{plan}, cedar.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "degraded: baseline run failed:", err)
+		os.Exit(1)
+	}
+	fr := reports[0]
+
+	fmt.Println("Fault activations:")
+	for _, a := range fr.Run.Injector.Applied() {
+		fmt.Printf("  cycle %-10d %s\n", int64(a.At), a.Note)
+	}
+	fmt.Println()
+
+	if fr.Err != nil {
+		fmt.Fprintln(os.Stderr, "degraded: run failed:", fr.Err)
+		os.Exit(1)
+	}
+	fmt.Print(core.FormatDegraded(fr.Report))
+}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	cedar "repro"
 	"repro/internal/arch"
@@ -21,8 +22,16 @@ func main() {
 	// Run the instrumented simulation on the 1-processor baseline and
 	// the full machine. The baseline supplies the "minimum possible
 	// total processing time" the contention methodology needs.
-	base := cedar.Simulate(app, arch.Cedar1, cedar.Options{})
-	full := cedar.Simulate(app, arch.Cedar32, cedar.Options{})
+	base, err := cedar.SimulateErr(app, arch.Cedar1, cedar.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart: baseline run failed:", err)
+		os.Exit(1)
+	}
+	full, err := cedar.SimulateErr(app, arch.Cedar32, cedar.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart: 32-processor run failed:", err)
+		os.Exit(1)
+	}
 
 	// Report in paper-scale seconds (1-processor CT normalized to the
 	// published 613 s for FLO52).
@@ -61,7 +70,8 @@ func main() {
 	// (3) Global memory and network contention — Section 7.
 	cont, err := core.ContentionOverhead(base, full)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "quickstart: contention estimate failed:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("contention overhead: Tp_actual %.0f s vs Tp_ideal %.0f s -> %.1f%% of CT (paper: 8-21%%)\n",
 		full.Seconds(cont.TpActual), full.Seconds(cont.TpIdeal), cont.OvCont)

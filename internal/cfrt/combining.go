@@ -90,9 +90,14 @@ func (rt *Runtime) treeAddr(i int) int64 {
 // treeBarrier is the combining-tree arrival for one CE.
 func (rt *Runtime) treeBarrier(ce *cluster.CE, al *activeLoop) {
 	rt.stats.TreeBarriers++
+	rt.ensureArrived(al)
 	if al.tree == nil {
 		al.tree = rt.newCombTree(rt.M.Cfg.CEs(), rt.TreeFanout)
+		// CEs that fail-stopped before the tree existed still count
+		// toward its node quotas.
+		rt.ghostArrivals(al)
 	}
+	al.arrived[ce.Global()] = true
 	leaf := al.tree.leaves[ce.Global()/maxInt(rt.TreeFanout, 2)]
 	rt.treeArrive(ce, al.tree, leaf)
 	// Wait for the release to reach the leaf, polling our own node —
@@ -123,5 +128,42 @@ func (rt *Runtime) treeArrive(ce *cluster.CE, t *combTree, node *combNode) {
 	}
 	for _, n := range t.all {
 		n.released = true
+	}
+}
+
+// ghostArrive credits a node with an arrival that no CE will make (a
+// fail-stopped processor), cascading upward like treeArrive but with
+// no memory traffic — the pager/scheduler fixes the quota, not a CE.
+func (t *combTree) ghostArrive(node *combNode) {
+	node.have++
+	if node.have < node.need {
+		return
+	}
+	if node.parent != nil {
+		t.ghostArrive(node.parent)
+		return
+	}
+	for _, n := range t.all {
+		n.released = true
+	}
+}
+
+// ghostArrivals applies a ghost arrival for every fail-stopped CE that
+// never reached the active loop's combining tree, so the survivors'
+// release cascade is not held up by dead processors.
+func (rt *Runtime) ghostArrivals(al *activeLoop) {
+	if al.tree == nil {
+		return
+	}
+	rt.ensureArrived(al)
+	fanout := maxInt(rt.TreeFanout, 2)
+	for _, cl := range rt.M.Clusters {
+		for _, ce := range cl.CEs {
+			g := ce.Global()
+			if ce.Failed() && !al.arrived[g] {
+				al.arrived[g] = true
+				al.tree.ghostArrive(al.tree.leaves[g/fanout])
+			}
+		}
 	}
 }

@@ -85,8 +85,10 @@ func (rt *Runtime) serializedBody(l *Loop, cat metrics.Category) func(*ExecCtx, 
 		}
 		waited := lock.Acquire(ec.CE.Proc)
 		ec.CE.Charge(waited, cat)
-		ec.CE.Spend(serial, cat)
-		lock.Release()
+		func() {
+			defer lock.Release()
+			ec.CE.Spend(serial, cat)
+		}()
 	}
 }
 
@@ -154,11 +156,14 @@ func (rt *Runtime) runSdoallTask(rc *rtCluster, al *activeLoop) {
 		rt.Mon.Post(hpm.EvPickStart, lead.Global(), int32(al.gen))
 		waited := rt.sdoallLock.Acquire(lead.Proc)
 		lead.Charge(waited, metrics.CatPickIter)
-		lead.Spend(sim.Duration(rt.Cost.IterDispatchLocal), metrics.CatPickIter)
-		lead.GMAccessAs(rt.sdoallAddr, 1, metrics.CatPickIter)
-		o := al.outerNext
-		al.outerNext++
-		rt.sdoallLock.Release()
+		var o int
+		func() {
+			defer rt.sdoallLock.Release()
+			lead.Spend(sim.Duration(rt.Cost.IterDispatchLocal), metrics.CatPickIter)
+			lead.GMAccessAs(rt.sdoallAddr, 1, metrics.CatPickIter)
+			o = al.outerNext
+			al.outerNext++
+		}()
 		rt.stats.OuterPicks++
 		rt.Mon.Post(hpm.EvPickEnd, lead.Global(), int32(al.gen))
 		if o >= maxInt(l.Outer, 1) {
@@ -220,13 +225,18 @@ func (rt *Runtime) xdoallNext(al *activeLoop) func(ce *cluster.CE) (int, bool) {
 		// contention lives.
 		waited := rt.xdoallLock.Acquire(ce.Proc)
 		ce.Charge(waited, metrics.CatPickIter)
-		// The serialized window: the test-and-set is owned from the
-		// module's grant until the index update commits.
-		ce.Spend(sim.Duration(rt.Cost.IterDispatchLocal+rt.Cost.XdoallPickSerial),
-			metrics.CatPickIter)
-		i := al.flatNext
-		al.flatNext += chunk
-		rt.xdoallLock.Release()
+		var i int
+		func() {
+			// Release via defer: a fail-stop mid-window must not
+			// leave the iteration lock held forever.
+			defer rt.xdoallLock.Release()
+			// The serialized window: the test-and-set is owned from
+			// the module's grant until the index update commits.
+			ce.Spend(sim.Duration(rt.Cost.IterDispatchLocal+rt.Cost.XdoallPickSerial),
+				metrics.CatPickIter)
+			i = al.flatNext
+			al.flatNext += chunk
+		}()
 		// The winning test-and-set round trip, real global memory
 		// traffic on the lock word's module.
 		ce.GMAccessAs(rt.xdoallAddr, 1, metrics.CatPickIter)
@@ -253,8 +263,21 @@ type clusterJob struct {
 	next func(ce *cluster.CE) (int, bool)
 	al   *activeLoop // the cross-cluster loop this job belongs to, if any
 
-	active int
-	done   *sim.Cond
+	finished []bool // per local CE index; fail-stopped CEs count as done
+	done     *sim.Cond
+}
+
+// jobComplete reports whether every CE of the cluster has either
+// finished its share of the job or fail-stopped. Counting dead CEs as
+// done is what lets a cluster's internal synchronization complete on a
+// degraded machine.
+func jobComplete(cl *cluster.Cluster, job *clusterJob) bool {
+	for li, ce := range cl.CEs {
+		if !job.finished[li] && !ce.Failed() {
+			return false
+		}
+	}
+	return true
 }
 
 // busNext distributes iterations [start, start+count) dynamically: an
@@ -287,7 +310,7 @@ func (rt *Runtime) runJob(rc *rtCluster, job *clusterJob) {
 	lead := rc.cl.Lead()
 	rc.jobGen++
 	job.gen = rc.jobGen
-	job.active = len(rc.cl.CEs)
+	job.finished = make([]bool, len(rc.cl.CEs))
 	job.done = sim.NewCond(rt.M.Kernel, fmt.Sprintf("cfrt.job.c%d", rc.cl.ID))
 	rc.job = job
 
@@ -299,7 +322,7 @@ func (rt *Runtime) runJob(rc *rtCluster, job *clusterJob) {
 
 	// Wait for the cluster's CEs to synchronize; the lead's wait for
 	// its slower siblings is loop execution wall time.
-	for job.active > 0 {
+	for !jobComplete(rc.cl, job) {
 		waited := job.done.Wait(lead.Proc)
 		lead.Charge(waited, job.cat)
 	}
@@ -309,6 +332,15 @@ func (rt *Runtime) runJob(rc *rtCluster, job *clusterJob) {
 // iterations until none remain, then synchronize on the concurrency
 // bus (or through global memory on an unclustered machine).
 func (rt *Runtime) execJob(ce *cluster.CE, job *clusterJob) {
+	// Mark this CE's share finished via defer: it holds on fail-stop
+	// unwind too (a dead CE counts as done), so the cluster's lead is
+	// never left waiting on a processor that will not report in.
+	defer func() {
+		job.finished[ce.ID.Local] = true
+		if jobComplete(ce.Cluster, job) {
+			job.done.Broadcast()
+		}
+	}()
 	ec := &ExecCtx{CE: ce, rt: rt, cat: job.cat}
 	for {
 		i, ok := job.next(ce)
@@ -329,10 +361,27 @@ func (rt *Runtime) execJob(ce *cluster.CE, job *clusterJob) {
 	} else {
 		ce.ConcBusOp(rt.Cost.ConcBusSync, job.cat)
 	}
-	job.active--
-	if job.active == 0 {
-		job.done.Broadcast()
+}
+
+// ensureArrived lazily allocates the loop's per-CE arrival map.
+func (rt *Runtime) ensureArrived(al *activeLoop) {
+	if al.arrived == nil {
+		al.arrived = make([]bool, rt.M.Cfg.CEs())
 	}
+}
+
+// flatBarrierDone reports whether every CE has arrived or fail-stopped
+// — the degraded machine's barrier predicate (a dead CE is never
+// coming, so survivors must not spin for it).
+func (rt *Runtime) flatBarrierDone(al *activeLoop) bool {
+	for _, cl := range rt.M.Clusters {
+		for _, other := range cl.CEs {
+			if !al.arrived[other.Global()] && !other.Failed() {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // flatBarrier synchronizes all CEs of a cross-cluster loop through a
@@ -341,13 +390,13 @@ func (rt *Runtime) execJob(ce *cluster.CE, job *clusterJob) {
 // on the barrier word's memory module.
 func (rt *Runtime) flatBarrier(ce *cluster.CE, al *activeLoop) {
 	rt.stats.FlatBarriers++
-	total := rt.M.Cfg.CEs()
-	al.flatArrived++
+	rt.ensureArrived(al)
+	al.arrived[ce.Global()] = true
 	// The arrival increment (test-and-set on the barrier word).
 	ce.GMAccessAs(rt.barrierAddr, 1, metrics.CatBarrierWait)
-	// Poll the count until every CE in the machine has arrived. Every
-	// poll is real global memory traffic on one module.
-	for al.flatArrived < total {
+	// Poll the count until every live CE in the machine has arrived.
+	// Every poll is real global memory traffic on one module.
+	for !rt.flatBarrierDone(al) {
 		ce.Spend(sim.Duration(rt.Cost.SpinPollInterval), metrics.CatBarrierWait)
 		ce.GMAccessAs(rt.barrierAddr, 1, metrics.CatBarrierWait)
 	}

@@ -180,15 +180,18 @@ type rtCluster struct {
 
 // activeLoop is a loop posted on the work board.
 type activeLoop struct {
-	gen         uint64
-	loop        *Loop
-	construct   Construct
-	outerNext   int // next SDOALL outer iteration
-	flatNext    int // next XDOALL flat iteration
-	joined      int // helper tasks that entered the loop
-	detached    int // helper tasks that have detached
-	flatArrived int // unclustered mode: CEs arrived at the flat barrier
-	tree        *combTree
+	gen       uint64
+	loop      *Loop
+	construct Construct
+	outerNext int // next SDOALL outer iteration
+	flatNext  int // next XDOALL flat iteration
+	joined    int // helper tasks that entered the loop
+	detached  int // helper tasks that have detached
+	// arrived marks, per machine-wide CE id, arrival at the
+	// unclustered-mode loop-end barrier. The barrier is complete when
+	// every CE has arrived or fail-stopped.
+	arrived []bool
+	tree    *combTree
 }
 
 // New creates a runtime for the machine and OS.
@@ -235,10 +238,24 @@ func (rt *Runtime) ClusterMCWall(c int) sim.Duration { return rt.rcs[c].MCWall }
 
 // Run executes the program on the machine: it spawns a driver process
 // per CE, creates the helper tasks, runs program on the main task, and
-// drains the simulation. It returns the completion time.
+// drains the simulation. It returns the completion time, panicking on
+// simulation errors (see RunErr for the error-returning form).
 func (rt *Runtime) Run(program func(mt *Main)) sim.Time {
+	ct, err := rt.RunErr(program)
+	if err != nil {
+		panic(err)
+	}
+	return ct
+}
+
+// RunErr is Run with error reporting: a process panic surfaces as an
+// error, a wedged simulation (fault plans can produce one) is
+// diagnosed as sim.ErrDeadlock, and an exhausted cycle budget as
+// sim.ErrCycleBudget — instead of panicking or hanging. Accounting is
+// flushed either way, so the partial run remains inspectable.
+func (rt *Runtime) RunErr(program func(mt *Main)) (sim.Time, error) {
 	if rt.started {
-		panic("cfrt: Runtime.Run called twice")
+		return 0, fmt.Errorf("cfrt: Runtime.Run called twice")
 	}
 	rt.started = true
 	k := rt.M.Kernel
@@ -252,28 +269,56 @@ func (rt *Runtime) Run(program func(mt *Main)) sim.Time {
 			case ci == 0 && li == 0:
 				k.Spawn("main."+ce.ID.String(), func(p *sim.Proc) {
 					ce.Proc = p
+					if ce.Failed() {
+						return // fail-stopped before startup
+					}
 					rt.mainDriver(program)
 				})
 			case li == 0:
 				k.Spawn("helper."+ce.ID.String(), func(p *sim.Proc) {
 					ce.Proc = p
+					if ce.Failed() {
+						return
+					}
 					rt.helperDriver(rc)
 				})
 			default:
 				k.Spawn("worker."+ce.ID.String(), func(p *sim.Proc) {
 					ce.Proc = p
+					if ce.Failed() {
+						return
+					}
 					rt.workerDriver(rc, ce)
 				})
 			}
 		}
 	}
 
-	k.RunAll()
+	_, err := k.RunAllErr()
+	rt.OS.Stop() // idempotent; on error paths the main task never got here
 	rt.OS.FlushAccounting()
 	if k.LiveProcs() > 0 {
 		k.Shutdown()
 	}
-	return rt.mainDone
+	return rt.mainDone, err
+}
+
+// NotifyCEFailure wakes every protocol wait that may have been
+// counting on the failed CE — job quorums, the finish barrier, the
+// work boards — so survivors re-evaluate their predicates instead of
+// waiting on a dead processor. Fault injectors call it right after
+// fail-stopping a CE.
+func (rt *Runtime) NotifyCEFailure(ce *cluster.CE) {
+	rc := rt.rcs[ce.ID.Cluster]
+	if rc.job != nil {
+		rc.job.done.Broadcast()
+	}
+	rc.workCond.Broadcast()
+	rt.boardCond.Broadcast()
+	rt.barrierCond.Broadcast()
+	if al := rt.cur; al != nil && al.tree != nil {
+		rt.ghostArrivals(al)
+	}
 }
 
 // mainDriver runs on the master cluster's lead CE.
@@ -307,6 +352,16 @@ func (rt *Runtime) mainDriver(program func(mt *Main)) {
 // task's wait-for-work loop.
 func (rt *Runtime) helperDriver(rc *rtCluster) {
 	lead := rc.cl.Lead()
+	// If this helper fail-stops after joining a loop but before
+	// detaching, detach on its behalf during the unwind so the main
+	// task's finish barrier does not wait for a dead cluster.
+	var inLoop *activeLoop
+	defer func() {
+		if inLoop != nil {
+			inLoop.detached++
+			rt.barrierCond.Broadcast()
+		}
+	}()
 	// Task startup on this cluster.
 	rt.OS.ClusterSyscall(lead)
 
@@ -318,6 +373,7 @@ func (rt *Runtime) helperDriver(rc *rtCluster) {
 			// Join before any time passes so the main task's barrier
 			// is guaranteed to wait for us.
 			al.joined++
+			inLoop = al
 			rt.stats.HelperJoins++
 			rt.Mon.Post(hpm.EvHelperJoin, lead.Global(), int32(al.gen))
 			// The successful poll of the activity lock and the read of
@@ -339,6 +395,7 @@ func (rt *Runtime) helperDriver(rc *rtCluster) {
 			lead.GMAccessAs(rt.barrierAddr, 1, metrics.CatPickIter)
 			rt.Mon.Post(hpm.EvHelperDetach, lead.Global(), int32(al.gen))
 			al.detached++
+			inLoop = nil
 			rt.barrierCond.Signal()
 			rt.OS.Poll(lead)
 			continue

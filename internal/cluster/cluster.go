@@ -27,7 +27,8 @@ type Machine struct {
 	GM       *gmem.Memory
 	Clusters []*Cluster
 
-	gmBrk int64 // bump allocator for global memory, in words
+	gmBrk  int64 // bump allocator for global memory, in words
+	failed int   // CEs failed via CE.Fail
 }
 
 // NewMachine builds the hardware for cfg on the given kernel.
@@ -71,6 +72,12 @@ func (m *Machine) AllCEs() []*CE {
 	}
 	return out
 }
+
+// LiveCEs returns the number of CEs that have not failed.
+func (m *Machine) LiveCEs() int { return m.Cfg.CEs() - m.failed }
+
+// FailedCEs returns the number of CEs failed via CE.Fail.
+func (m *Machine) FailedCEs() int { return m.failed }
 
 // Accounts returns every CE's account in machine order.
 func (m *Machine) Accounts() []*metrics.Account {
@@ -125,6 +132,8 @@ type CE struct {
 	Proc    *sim.Proc
 
 	busyCat metrics.Category // what the CE is doing right now (for samplers)
+	failed  bool
+	slow    float64 // clock degradation factor; 0 or 1 = healthy
 }
 
 // Machine returns the machine the CE belongs to.
@@ -136,9 +145,20 @@ func (ce *CE) Global() int { return ce.ID.Global(ce.Cluster.Machine.Cfg) }
 // Now returns the current virtual time.
 func (ce *CE) Now() sim.Time { return ce.Proc.Now() }
 
-// Spend advances the CE d cycles, charged to category cat. While the
-// time passes, Busy reports cat (visible to sampling monitors).
+// Spend advances the CE d cycles of its own work, charged to category
+// cat. A degraded CE (SetSlowFactor) takes proportionally longer.
+// While the time passes, Busy reports cat (visible to sampling
+// monitors).
 func (ce *CE) Spend(d sim.Duration, cat metrics.Category) {
+	if ce.slow > 1 {
+		d = sim.Duration(float64(d)*ce.slow + 0.5)
+	}
+	ce.spendRaw(d, cat)
+}
+
+// spendRaw advances exactly d cycles with no clock degradation —
+// used for waits whose end time is fixed by an external resource.
+func (ce *CE) spendRaw(d sim.Duration, cat metrics.Category) {
 	if d <= 0 {
 		return
 	}
@@ -153,12 +173,38 @@ func (ce *CE) Spend(d sim.Duration, cat metrics.Category) {
 // metrics.CatIdle if it is blocked or between activities.
 func (ce *CE) Busy() metrics.Category { return ce.busyCat }
 
-// SpendUntil advances the CE to absolute time t, charged to cat.
+// SpendUntil advances the CE to absolute time t, charged to cat. The
+// end time is externally fixed, so clock degradation does not apply.
 func (ce *CE) SpendUntil(t sim.Time, cat metrics.Category) {
 	if t > ce.Now() {
-		ce.Spend(t-ce.Now(), cat)
+		ce.spendRaw(t-ce.Now(), cat)
 	}
 }
+
+// Fail marks the CE fail-stopped and aborts its driver process: the
+// process unwinds through its deferred protocol cleanups and never
+// runs again. The CE's account freezes at the failure time. Idempotent.
+func (ce *CE) Fail() {
+	if ce.failed {
+		return
+	}
+	ce.failed = true
+	ce.Cluster.Machine.failed++
+	if ce.Proc != nil {
+		ce.Cluster.Machine.Kernel.Abort(ce.Proc)
+	}
+}
+
+// Failed reports whether the CE has fail-stopped.
+func (ce *CE) Failed() bool { return ce.failed }
+
+// SetSlowFactor degrades the CE's clock: every subsequent Spend takes
+// factor times as long. Factors <= 1 restore full speed.
+func (ce *CE) SetSlowFactor(factor float64) { ce.slow = factor }
+
+// SlowFactor returns the current clock degradation factor (0 or 1 =
+// healthy).
+func (ce *CE) SlowFactor() float64 { return ce.slow }
 
 // Charge records d cycles against cat without advancing time — used
 // when the wait already happened inside a blocking primitive.
@@ -174,7 +220,7 @@ func (ce *CE) GMAccess(addr int64, words int) (stall, queued sim.Duration) {
 	now := ce.Now()
 	done, q := ce.Machine().GM.Access(now, ce.ID, addr, words)
 	stall = done - now
-	ce.Spend(stall, metrics.CatGMStall)
+	ce.SpendUntil(done, metrics.CatGMStall)
 	return stall, q
 }
 
@@ -184,7 +230,7 @@ func (ce *CE) GMAccessAs(addr int64, words int, cat metrics.Category) (stall, qu
 	now := ce.Now()
 	done, q := ce.Machine().GM.Access(now, ce.ID, addr, words)
 	stall = done - now
-	ce.Spend(stall, cat)
+	ce.SpendUntil(done, cat)
 	return stall, q
 }
 
@@ -196,7 +242,7 @@ func (ce *CE) CacheAccess(words int, hitRatio float64) sim.Duration {
 	now := ce.Now()
 	done, _ := ce.Cluster.Cache.Access(now, words, hitRatio)
 	stall := done - now
-	ce.Spend(stall, metrics.CatCacheStall)
+	ce.SpendUntil(done, metrics.CatCacheStall)
 	return stall
 }
 

@@ -56,6 +56,9 @@ type Result struct {
 	RT cfrt.Stats
 	// Global memory traffic and queueing statistics.
 	GM gmem.Stats
+	// FailedCEs counts processors fail-stopped by fault injection
+	// (zero on a healthy run).
+	FailedCEs int
 }
 
 // Collect assembles a Result from a finished run.
@@ -63,14 +66,15 @@ func Collect(app string, scale float64, rt *cfrt.Runtime, sampler *statfx.Sample
 	m := rt.M
 	ct := rt.CT()
 	r := &Result{
-		App:      app,
-		Cfg:      m.Cfg,
-		Scale:    scale,
-		CT:       ct,
-		Accounts: m.Accounts(),
-		OS:       *rt.OS.Brk,
-		RT:       rt.Statistics(),
-		GM:       m.GM.Stats(),
+		App:       app,
+		Cfg:       m.Cfg,
+		Scale:     scale,
+		CT:        ct,
+		Accounts:  m.Accounts(),
+		OS:        *rt.OS.Brk,
+		RT:        rt.Statistics(),
+		GM:        m.GM.Stats(),
+		FailedCEs: m.FailedCEs(),
 	}
 	for c := range m.Clusters {
 		r.SXWall = append(r.SXWall, rt.ClusterSXWall(c))

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShareDelta is one row of the degraded-vs-baseline comparison: an
+// overhead's share of the completion time on the healthy machine and
+// on the fault-injected one.
+type ShareDelta struct {
+	Name     string
+	Baseline float64 // fraction of CT, healthy run
+	Degraded float64 // fraction of CT, fault-injected run
+}
+
+// Delta returns the share change (degraded minus baseline), in
+// fraction-of-CT points.
+func (d ShareDelta) Delta() float64 { return d.Degraded - d.Baseline }
+
+// DegradedReport compares a fault-injected run against the healthy
+// baseline on the same configuration, applying the paper's overhead
+// decomposition to both: how much of the slowdown shows up as OS
+// overhead, as parallelization overhead, and as global memory and
+// network contention.
+type DegradedReport struct {
+	App      string
+	Plan     string // fault plan in spec syntax
+	Failed   int    // CEs fail-stopped by the end of the degraded run
+	Baseline *Result
+	Degraded *Result
+	Rows     []ShareDelta
+}
+
+// Slowdown returns CT_degraded / CT_baseline.
+func (rep *DegradedReport) Slowdown() float64 {
+	if rep.Baseline.CT == 0 {
+		return 0
+	}
+	return float64(rep.Degraded.CT) / float64(rep.Baseline.CT)
+}
+
+// CompareDegraded decomposes a healthy baseline run and a degraded
+// (fault-injected) run of the same application on the same
+// configuration against the 1-processor base, producing the
+// share-delta table. The contention share is clamped at zero: the
+// Table-4 estimator can dip slightly negative when the ideal-time
+// estimate overshoots, and a negative contention share has no physical
+// reading in this comparison.
+func CompareDegraded(base1p, baseline, degraded *Result, plan string) (*DegradedReport, error) {
+	if baseline.App != degraded.App {
+		return nil, fmt.Errorf("core: degraded app %q != baseline app %q", degraded.App, baseline.App)
+	}
+	if baseline.Cfg.Name != degraded.Cfg.Name {
+		return nil, fmt.Errorf("core: degraded config %s != baseline config %s",
+			degraded.Cfg.Name, baseline.Cfg.Name)
+	}
+	contB, err := ContentionOverhead(base1p, baseline)
+	if err != nil {
+		return nil, err
+	}
+	contD, err := ContentionOverhead(base1p, degraded)
+	if err != nil {
+		return nil, err
+	}
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	rows := []ShareDelta{
+		{"OS share", baseline.OSShare(), degraded.OSShare()},
+		{"parallelization overhead (main)",
+			baseline.Task(0).OverheadFraction(), degraded.Task(0).OverheadFraction()},
+		{"contention share", clamp(contB.OvCont) / 100, clamp(contD.OvCont) / 100},
+	}
+	var totB, totD float64
+	for _, r := range rows {
+		totB += r.Baseline
+		totD += r.Degraded
+	}
+	rows = append(rows, ShareDelta{"total overhead", totB, totD})
+	return &DegradedReport{
+		App:      baseline.App,
+		Plan:     plan,
+		Failed:   degraded.FailedCEs,
+		Baseline: baseline,
+		Degraded: degraded,
+		Rows:     rows,
+	}, nil
+}
+
+// FormatDegraded renders the comparison as a text table in the style
+// of the paper-table formatters.
+func FormatDegraded(rep *DegradedReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degraded-mode comparison: %s on %s\n", rep.App, rep.Baseline.Cfg.Name)
+	fmt.Fprintf(&b, "fault plan: %s\n", rep.Plan)
+	if rep.Failed > 0 {
+		fmt.Fprintf(&b, "%d of %d CEs fail-stopped\n", rep.Failed, rep.Baseline.Cfg.CEs())
+	}
+	fmt.Fprintf(&b, "%-34s %10s %10s %10s\n", "", "baseline", "degraded", "delta")
+	fmt.Fprintf(&b, "%-34s %9.4fs %9.4fs %+9.1f%%\n", "completion time",
+		rep.Baseline.CTSeconds(), rep.Degraded.CTSeconds(), (rep.Slowdown()-1)*100)
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-34s %9.1f%% %9.1f%% %+8.1fpp\n",
+			r.Name, r.Baseline*100, r.Degraded*100, r.Delta()*100)
+	}
+	return b.String()
+}

@@ -28,11 +28,25 @@ type Memory struct {
 	net     *network.Pair
 	modules []*sim.Calendar
 
+	// Degraded-mode state: per-module service-time inflation factors
+	// (0 or 1 = healthy) and offline flags. Requests to an offline
+	// module are remapped to the next online module (the spare-module
+	// fallback), paying a fixed remap penalty per slice.
+	inflate  []float64
+	offline  []bool
+	nOffline int
+
 	accesses   uint64
 	words      uint64
 	stallTotal sim.Duration // total (completion - request) beyond zero
 	idealTotal sim.Duration // what the same accesses would cost uncontended
+	remapped   uint64       // vector slices redirected off an offline module
 }
+
+// remapPenaltyCycles is the extra module occupancy a redirected slice
+// pays: the fallback module must consult the remap table before
+// serving foreign addresses.
+const remapPenaltyCycles = 16
 
 // New creates the global memory for a configuration.
 func New(cfg arch.Config, cost arch.CostModel) *Memory {
@@ -50,6 +64,71 @@ func New(cfg arch.Config, cost arch.CostModel) *Memory {
 
 // Net exposes the network pair (for hot-spot statistics).
 func (m *Memory) Net() *network.Pair { return m.net }
+
+func (m *Memory) ensureFaultState() {
+	if m.inflate == nil {
+		m.inflate = make([]float64, m.cfg.GMModules)
+		m.offline = make([]bool, m.cfg.GMModules)
+	}
+}
+
+// InflateModule multiplies module mod's service time (latency and
+// per-word transfer) by factor for all subsequent accesses. Factors
+// <= 1 restore nominal speed.
+func (m *Memory) InflateModule(mod int, factor float64) {
+	m.ensureFaultState()
+	m.inflate[mod] = factor
+}
+
+// OfflineModule takes module mod out of service: subsequent accesses
+// that map to it are redirected to the next online module (wrapping),
+// paying a remap penalty per redirected slice. The last online module
+// cannot be taken offline; OfflineModule reports whether the module is
+// now offline.
+func (m *Memory) OfflineModule(mod int) bool {
+	m.ensureFaultState()
+	if m.offline[mod] {
+		return true
+	}
+	if m.nOffline >= m.cfg.GMModules-1 {
+		return false
+	}
+	m.offline[mod] = true
+	m.nOffline++
+	return true
+}
+
+// OfflineModules returns how many modules are currently out of service.
+func (m *Memory) OfflineModules() int { return m.nOffline }
+
+// effModule returns the module that actually serves addresses mapping
+// to mod: mod itself when online, otherwise the next online module.
+func (m *Memory) effModule(mod int) int {
+	if m.nOffline == 0 || !m.offline[mod] {
+		return mod
+	}
+	for i := 1; i < m.cfg.GMModules; i++ {
+		e := (mod + i) % m.cfg.GMModules
+		if !m.offline[e] {
+			return e
+		}
+	}
+	return mod
+}
+
+// moduleBusy returns module mod's occupancy for a w-word slice,
+// including any latency inflation and the remap penalty when the slice
+// was redirected from another (offline) module.
+func (m *Memory) moduleBusy(mod int, w int, remapped bool) sim.Duration {
+	busy := m.cost.ModuleLatency + int64(w)*m.cost.ModuleCyclesPerWord
+	if m.inflate != nil && m.inflate[mod] > 1 {
+		busy = int64(float64(busy)*m.inflate[mod] + 0.5)
+	}
+	if remapped {
+		busy += remapPenaltyCycles
+	}
+	return sim.Duration(busy)
+}
 
 // Module returns the module index an address maps to (double-word
 // interleaved).
@@ -96,10 +175,12 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 	var lastReady sim.Time
 
 	for g := 0; g < nSwitches; g++ {
-		// Words of this access served by group g's modules.
+		// Words of this access served by group g's modules. Slices
+		// whose home module is offline travel to (and group with) the
+		// fallback module instead.
 		groupWords := 0
 		for i := 0; i < touched; i++ {
-			mod := (firstModule + i) % m.cfg.GMModules
+			mod := m.effModule((firstModule + i) % m.cfg.GMModules)
 			if mod/d != g {
 				continue
 			}
@@ -118,7 +199,8 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 		// Forward stage 1 and the modules themselves, per module.
 		var groupReady sim.Time
 		for i := 0; i < touched; i++ {
-			mod := (firstModule + i) % m.cfg.GMModules
+			home := (firstModule + i) % m.cfg.GMModules
+			mod := m.effModule(home)
 			if mod/d != g {
 				continue
 			}
@@ -126,9 +208,12 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 			if i < extra {
 				w++
 			}
+			if mod != home {
+				m.remapped++
+			}
 			a1, q1 := m.net.Forward.Port(1, m.net.FwdStage1Port(mod), a0, w)
 			qNet += q1
-			busy := sim.Duration(m.cost.ModuleLatency + int64(w)*m.cost.ModuleCyclesPerWord)
+			busy := m.moduleBusy(mod, w, mod != home)
 			start, end := m.modules[mod].Reserve(a1, busy)
 			qMod += start - a1
 			if end > groupReady {
@@ -200,6 +285,7 @@ type Stats struct {
 	IdealTotal   sim.Duration // same, minus queueing
 	ModuleDelay  sim.Duration // queueing at modules only
 	NetworkDelay sim.Duration // queueing at network ports only
+	Remapped     uint64       // slices redirected off offline modules
 }
 
 // Stats returns the memory's aggregate statistics.
@@ -209,6 +295,7 @@ func (m *Memory) Stats() Stats {
 		Words:      m.words,
 		StallTotal: m.stallTotal,
 		IdealTotal: m.idealTotal,
+		Remapped:   m.remapped,
 	}
 	for _, mod := range m.modules {
 		st.ModuleDelay += mod.DelayTotal()

@@ -56,6 +56,9 @@ const (
 	// EvSerialStart / EvSerialEnd: serial section boundaries.
 	EvSerialStart
 	EvSerialEnd
+	// EvFaultInject: a fault-plan event fired (degraded-mode runs).
+	// Arg is the faults.Kind; CE is the fault's target index.
+	EvFaultInject
 
 	// NumEvents is the number of event kinds.
 	NumEvents
@@ -66,6 +69,7 @@ var eventNames = [NumEvents]string{
 	"iter-start", "iter-end", "barrier-enter", "barrier-exit",
 	"wait-start", "wait-end", "helper-detach", "ctx-switch",
 	"mcloop-start", "mcloop-end", "serial-start", "serial-end",
+	"fault-inject",
 }
 
 // String implements fmt.Stringer.

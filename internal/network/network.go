@@ -27,6 +27,33 @@ type Net struct {
 	// stage. For the forward net, stage-1 output ports feed the
 	// memory modules; for the return net they feed the CEs.
 	ports [][]*sim.Calendar
+	// degrade[s][i] > 1 stretches port i of stage s: each word
+	// occupies the port that many times longer (a flaky link running
+	// at reduced bandwidth). nil until a fault arms it.
+	degrade [][]float64
+}
+
+// DegradePort stretches the bandwidth of one output port: words
+// through it occupy factor times as many cycles. Factors <= 1 restore
+// nominal speed.
+func (n *Net) DegradePort(stage, port int, factor float64) {
+	if n.degrade == nil {
+		n.degrade = make([][]float64, len(n.ports))
+		for s := range n.ports {
+			n.degrade[s] = make([]float64, len(n.ports[s]))
+		}
+	}
+	n.degrade[stage][port] = factor
+}
+
+// portBusy returns the occupancy of a words-long burst at the given
+// port, including any degradation factor.
+func (n *Net) portBusy(stage, port, words int) sim.Duration {
+	busy := int64(words) * n.cost.PortCyclesPerWord
+	if n.degrade != nil && n.degrade[stage][port] > 1 {
+		busy = int64(float64(busy)*n.degrade[stage][port] + 0.5)
+	}
+	return sim.Duration(busy)
 }
 
 // newNet builds one direction with the given name prefix.
@@ -105,11 +132,10 @@ func (n *Net) transit(at sim.Time, route [2]int, words int) (sim.Time, sim.Durat
 	if words < 1 {
 		words = 1
 	}
-	busy := sim.Duration(int64(words) * n.cost.PortCyclesPerWord)
 	var queued sim.Duration
 	t := at
 	for s := 0; s < n.cfg.NetStages && s < len(route); s++ {
-		start, end := n.ports[s][route[s]].Reserve(t, busy)
+		start, end := n.ports[s][route[s]].Reserve(t, n.portBusy(s, route[s], words))
 		queued += start - t
 		// The head of the message moves on after the stage latency;
 		// the tail clears the port at end. The next stage can begin
@@ -131,8 +157,7 @@ func (n *Net) Port(stage, port int, at sim.Time, words int) (sim.Time, sim.Durat
 	if words < 1 {
 		words = 1
 	}
-	busy := sim.Duration(int64(words) * n.cost.PortCyclesPerWord)
-	start, end := n.ports[stage][port].Reserve(at, busy)
+	start, end := n.ports[stage][port].Reserve(at, n.portBusy(stage, port, words))
 	return end + sim.Duration(n.cost.StageLatency), start - at
 }
 

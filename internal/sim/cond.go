@@ -33,7 +33,7 @@ func (c *Cond) Wait(p *Proc) Duration {
 	p.checkRunning("Cond.Wait")
 	start := c.k.now
 	c.waiters = append(c.waiters, p)
-	p.block()
+	p.blockOn("cond:" + c.name)
 	return c.k.now - start
 }
 
@@ -46,43 +46,57 @@ func (c *Cond) WaitTimeout(p *Proc, d Duration) (Duration, bool) {
 	c.waiters = append(c.waiters, p)
 	timedOut := false
 	ev := c.k.After(d, func() {
-		// Only fires if we were not signaled first.
+		// Only fires if we were not signaled first. A waiter that was
+		// aborted in the meantime is removed without a wake (it is
+		// already unwinding).
 		for i, w := range c.waiters {
 			if w == p {
 				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				if p.state != stateBlocked {
+					return
+				}
 				timedOut = true
 				c.k.wake(p)
 				return
 			}
 		}
 	})
-	p.block()
+	p.blockOn("cond:" + c.name)
 	if !timedOut {
 		ev.Cancel()
 	}
 	return c.k.now - start, timedOut
 }
 
-// Signal wakes the longest-waiting process, if any. It reports whether
-// a process was woken.
+// Signal wakes the longest-waiting process, if any. Waiters that were
+// aborted while queued are skipped (they are already unwinding). It
+// reports whether a process was woken.
 func (c *Cond) Signal() bool {
-	if len(c.waiters) == 0 {
-		return false
+	for len(c.waiters) > 0 {
+		head := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		if head.state != stateBlocked {
+			continue // aborted/dead waiter: drop and try the next
+		}
+		c.signals++
+		c.k.wake(head)
+		return true
 	}
-	head := c.waiters[0]
-	copy(c.waiters, c.waiters[1:])
-	c.waiters = c.waiters[:len(c.waiters)-1]
-	c.signals++
-	c.k.wake(head)
-	return true
+	return false
 }
 
-// Broadcast wakes every waiting process. It returns the number woken.
+// Broadcast wakes every waiting process (skipping any aborted while
+// queued). It returns the number woken.
 func (c *Cond) Broadcast() int {
-	n := len(c.waiters)
+	n := 0
 	for _, w := range c.waiters {
+		if w.state != stateBlocked {
+			continue
+		}
 		c.signals++
 		c.k.wake(w)
+		n++
 	}
 	c.waiters = c.waiters[:0]
 	return n

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrDeadlock is the sentinel for simulation deadlocks: the kernel
+// found live processes that can never run again (event queue exhausted
+// with processes still blocked, or the watchdog observed no process
+// executing for a full interval). Match with errors.Is; the concrete
+// error is a *DeadlockError carrying the blocked-process details.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// ErrCycleBudget is the sentinel for runs stopped by the kernel's
+// cycle budget (SetMaxCycles). The concrete error is a
+// *CycleBudgetError.
+var ErrCycleBudget = errors.New("sim: cycle budget exhausted")
+
+// BlockedProc describes one process stuck at deadlock detection time.
+type BlockedProc struct {
+	Name      string
+	WaitingOn string // the blocking primitive's diagnostic name
+}
+
+// DeadlockError reports a detected deadlock: which processes are
+// blocked and what each is waiting on.
+type DeadlockError struct {
+	At      Time
+	Live    int
+	Blocked []BlockedProc
+}
+
+// Error implements error, naming the blocked processes.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at cycle %d: %d live process(es), %d blocked",
+		e.At, e.Live, len(e.Blocked))
+	max := len(e.Blocked)
+	if max > 8 {
+		max = 8
+	}
+	for _, p := range e.Blocked[:max] {
+		on := p.WaitingOn
+		if on == "" {
+			on = "unknown"
+		}
+		fmt.Fprintf(&b, "; %s waits on %s", p.Name, on)
+	}
+	if len(e.Blocked) > max {
+		fmt.Fprintf(&b, "; and %d more", len(e.Blocked)-max)
+	}
+	return b.String()
+}
+
+// Is makes errors.Is(err, ErrDeadlock) match.
+func (e *DeadlockError) Is(target error) bool { return target == ErrDeadlock }
+
+// CycleBudgetError reports a run stopped because virtual time reached
+// the configured maximum.
+type CycleBudgetError struct {
+	Budget Time
+	Now    Time
+	Live   int
+}
+
+// Error implements error.
+func (e *CycleBudgetError) Error() string {
+	return fmt.Sprintf("sim: cycle budget %d exhausted at cycle %d with %d live process(es)",
+		e.Budget, e.Now, e.Live)
+}
+
+// Is makes errors.Is(err, ErrCycleBudget) match.
+func (e *CycleBudgetError) Is(target error) bool { return target == ErrCycleBudget }

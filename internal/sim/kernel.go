@@ -87,6 +87,13 @@ type Kernel struct {
 	rng     *rand.Rand
 
 	dispatched uint64 // events fired, for introspection/tests
+
+	// Watchdog / budget state (see SetWatchdog, SetMaxCycles).
+	maxCycles     Time
+	watchdogEvery Duration
+	watchdogArmed bool
+	lastProgress  Time // last time any process actually executed
+	err           error
 }
 
 // NewKernel returns a kernel with its virtual clock at zero and a
@@ -135,13 +142,30 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 // the next event is later than until. It returns the number of events
 // fired. Processes left blocked on conditions or resources simply stay
 // blocked; use LiveProcs/BlockedProcs to detect them, or Shutdown to
-// terminate them.
+// terminate them. Run panics on a process panic or a watchdog/budget
+// stop; RunErr returns those as errors instead.
 func (k *Kernel) Run(until Time) uint64 {
+	n, err := k.RunErr(until)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// RunErr is Run with error returns instead of panics: a process panic,
+// a watchdog-detected deadlock (*DeadlockError), or an exhausted cycle
+// budget (*CycleBudgetError) stop the run and are returned. The kernel
+// is left at the stopping time; Shutdown can then reclaim any
+// remaining processes.
+func (k *Kernel) RunErr(until Time) (uint64, error) {
 	var fired uint64
 	for len(k.events) > 0 {
 		next := k.events[0]
 		if next.at > until {
 			break
+		}
+		if k.maxCycles > 0 && next.at > k.maxCycles {
+			return fired, &CycleBudgetError{Budget: k.maxCycles, Now: k.now, Live: k.live}
 		}
 		heap.Pop(&k.events)
 		if next.canceled {
@@ -156,14 +180,91 @@ func (k *Kernel) Run(until Time) uint64 {
 		fired++
 		k.dispatched++
 		if k.fatal != nil {
-			panic(k.fatal)
+			err := k.fatal
+			k.fatal = nil
+			return fired, err
+		}
+		if k.err != nil {
+			err := k.err
+			k.err = nil
+			return fired, err
 		}
 	}
-	return fired
+	return fired, nil
 }
 
 // RunAll runs until no events remain.
 func (k *Kernel) RunAll() uint64 { return k.Run(Forever) }
+
+// RunAllErr runs until no events remain, returning errors instead of
+// panicking. Unlike RunAll, it additionally diagnoses the terminal
+// deadlock: an empty event queue with live processes means those
+// processes can never run again, so it returns a *DeadlockError naming
+// them rather than a silently truncated result.
+func (k *Kernel) RunAllErr() (uint64, error) {
+	n, err := k.RunErr(Forever)
+	if err == nil && k.live > 0 {
+		err = k.deadlockError()
+	}
+	return n, err
+}
+
+// SetMaxCycles sets a virtual-time budget: RunErr stops with
+// ErrCycleBudget before dispatching any event later than max. Zero
+// disables the budget.
+func (k *Kernel) SetMaxCycles(max Time) { k.maxCycles = max }
+
+// SetWatchdog enables deadlock detection with the given check
+// interval: if a full interval passes during which no process executes
+// and every live process is blocked (no wake event pending for any of
+// them), the run stops with a *DeadlockError. Long Holds do not trip
+// the watchdog — a held process has a wake event pending and is not
+// blocked. A non-positive interval disables the watchdog.
+func (k *Kernel) SetWatchdog(every Duration) {
+	k.watchdogEvery = every
+	k.armWatchdog()
+}
+
+func (k *Kernel) armWatchdog() {
+	if k.watchdogEvery <= 0 || k.watchdogArmed {
+		return
+	}
+	k.watchdogArmed = true
+	k.After(k.watchdogEvery, func() {
+		k.watchdogArmed = false
+		if k.live > 0 && k.allLiveBlocked() && k.now-k.lastProgress >= k.watchdogEvery {
+			k.err = k.deadlockError()
+			return
+		}
+		if k.live > 0 {
+			k.armWatchdog()
+		}
+	})
+}
+
+// allLiveBlocked reports whether every live process is blocked with no
+// wake pending (states new/scheduled/running all count as runnable).
+func (k *Kernel) allLiveBlocked() bool {
+	if k.live == 0 {
+		return false
+	}
+	for _, p := range k.procs {
+		switch p.state {
+		case stateNew, stateScheduled, stateRunning:
+			return false
+		}
+	}
+	return true
+}
+
+// deadlockError builds the diagnostic from the current blocked set.
+func (k *Kernel) deadlockError() *DeadlockError {
+	e := &DeadlockError{At: k.now, Live: k.live}
+	for _, p := range k.BlockedProcs() {
+		e.Blocked = append(e.Blocked, BlockedProc{Name: p.Name(), WaitingOn: p.WaitingOn()})
+	}
+	return e
+}
 
 // Idle reports whether no events are pending.
 func (k *Kernel) Idle() bool {
@@ -229,10 +330,35 @@ func (k *Kernel) resume(p *Proc) {
 	if p.state == stateDone {
 		return
 	}
+	k.lastProgress = k.now
 	prev := k.running
 	k.running = p
 	p.state = stateRunning
 	p.resume <- struct{}{}
 	<-k.yielded
 	k.running = prev
+}
+
+// Abort terminates a single process with fail-stop semantics: the
+// process unwinds with ErrAborted from whatever primitive it is in
+// (its deferred cleanups run), exactly as under Shutdown, but the rest
+// of the simulation keeps running. Aborting the currently running
+// process panics ErrAborted directly; aborting a finished process is a
+// no-op.
+func (k *Kernel) Abort(p *Proc) {
+	if p.state == stateDone || p.aborted {
+		return
+	}
+	p.aborted = true
+	switch p.state {
+	case stateRunning:
+		panic(ErrAborted)
+	case stateBlocked:
+		// Wake it now; yield() sees the aborted flag and panics
+		// ErrAborted inside the primitive it was sleeping in.
+		p.state = stateScheduled
+		k.Schedule(k.now, func() { k.resume(p) })
+	}
+	// stateNew / stateScheduled: a start or wake event is already
+	// pending; the aborted flag is checked on resume.
 }

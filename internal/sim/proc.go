@@ -32,6 +32,10 @@ type Proc struct {
 	state   procState
 	aborted bool
 
+	// waitingOn names the primitive the process is currently blocked
+	// in, for deadlock diagnostics.
+	waitingOn string
+
 	// holdTotal accumulates all time spent in Hold, for tests and
 	// sanity checks.
 	holdTotal Duration
@@ -67,6 +71,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	}()
 	p.state = stateScheduled
 	k.Schedule(k.now, func() { k.resume(p) })
+	k.armWatchdog()
 	return p
 }
 
@@ -88,6 +93,27 @@ func (p *Proc) Done() bool { return p.state == stateDone }
 // HoldTotal returns the total virtual time this process has spent in
 // Hold calls.
 func (p *Proc) HoldTotal() Duration { return p.holdTotal }
+
+// Aborted reports whether the process was terminated via Kernel.Abort
+// or Kernel.Shutdown.
+func (p *Proc) Aborted() bool { return p.aborted }
+
+// WaitingOn returns the diagnostic name of the primitive the process
+// is currently blocked in (empty if not blocked).
+func (p *Proc) WaitingOn() string {
+	if p.state != stateBlocked {
+		return ""
+	}
+	return p.waitingOn
+}
+
+// blockOn parks the process like block, recording what it waits on for
+// deadlock diagnostics.
+func (p *Proc) blockOn(what string) {
+	p.waitingOn = what
+	p.block()
+	p.waitingOn = ""
+}
 
 // checkRunning panics unless p is the currently executing process.
 func (p *Proc) checkRunning(op string) {

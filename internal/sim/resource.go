@@ -70,7 +70,7 @@ func (r *Resource) Acquire(p *Proc) Duration {
 	if len(r.waiters) > r.maxWaiters {
 		r.maxWaiters = len(r.waiters)
 	}
-	p.block()
+	p.blockOn("lock:" + r.name)
 	// We were woken by Release, which already transferred the unit to
 	// us (inUse stays incremented on handoff).
 	waited := r.k.now - start
@@ -92,15 +92,19 @@ func (r *Resource) TryAcquire(p *Proc) bool {
 
 // Release returns one unit. If processes are waiting, the unit is
 // handed directly to the head of the queue, which resumes at the
-// current virtual time.
+// current virtual time. Waiters aborted while queued are skipped: the
+// unit passes to the first live waiter, or back to the free pool.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic(fmt.Sprintf("sim: resource %q released below zero", r.name))
 	}
-	if len(r.waiters) > 0 {
+	for len(r.waiters) > 0 {
 		head := r.waiters[0]
 		copy(r.waiters, r.waiters[1:])
 		r.waiters = r.waiters[:len(r.waiters)-1]
+		if head.state != stateBlocked {
+			continue // aborted/dead waiter: drop and try the next
+		}
 		// Hand off the unit: inUse is unchanged (one out, one in).
 		r.k.wake(head)
 		return

@@ -77,6 +77,26 @@ func (r *Region) MappedPages(cluster int) int {
 // Addr returns the global word address of the given word offset.
 func (r *Region) Addr(offset int64) int64 { return r.Base + offset%r.Words }
 
+// InvalidateMappings unmaps the region's mapped pages for cluster task
+// cl (cl < 0: every cluster task), skipping pages with a fault in
+// flight. It returns the number of mappings dropped; subsequent
+// touches re-fault them.
+func (r *Region) InvalidateMappings(cl int) int {
+	n := 0
+	for c := range r.state {
+		if cl >= 0 && c != cl {
+			continue
+		}
+		for p, s := range r.state[c] {
+			if s == pageMapped {
+				r.state[c][p] = pageUnmapped
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Touch ensures the page span [offset, offset+words) is mapped in the
 // calling CE's cluster task, servicing faults as needed. It returns
 // the time consumed by fault handling (zero on the fast path).
@@ -118,6 +138,11 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 		o.concFaults++
 		waited := fs.done.Wait(ce.Proc)
 		ce.Charge(waited, metrics.CatOSSystem)
+		if r.state[cl][p] != pageMapped {
+			// The owner fail-stopped mid-service and rolled the page
+			// back to unmapped: retake the fault ourselves.
+			return ce.Now() - start + r.fault(ce, cl, p)
+		}
 		// After the owner finishes the service, each joiner still runs
 		// its own trap handling and mapping fix-up — the reason a
 		// concurrent fault is dearer per participant than a sequential
@@ -136,6 +161,16 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 		r.state[cl][p] = pageFaulting
 		fs := &faultState{done: sim.NewCond(o.M.Kernel, "pgflt")}
 		r.inflight[key] = fs
+		// If this CE fail-stops mid-service (unwinding via ErrAborted),
+		// roll the claim back and wake any joiners so one of them can
+		// retake the fault instead of waiting forever.
+		defer func() {
+			if r.state[cl][p] == pageFaulting {
+				r.state[cl][p] = pageUnmapped
+				delete(r.inflight, key)
+				fs.done.Broadcast()
+			}
+		}()
 
 		// The pager runs under the cluster kernel lock briefly, then
 		// services the fault.
@@ -143,10 +178,12 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 		if waited := lock.Acquire(ce.Proc); waited > 0 {
 			ce.Charge(waited, metrics.CatOSSpin)
 		}
-		crit := sim.Duration(o.Cost.CritSectCluster / 4) // pager queue touch
-		ce.Spend(crit, metrics.CatOSSystem)
-		o.Brk.Add(metrics.OSCrSectClus, crit)
-		lock.Release()
+		func() {
+			defer lock.Release()
+			crit := sim.Duration(o.Cost.CritSectCluster / 4) // pager queue touch
+			ce.Spend(crit, metrics.CatOSSystem)
+			o.Brk.Add(metrics.OSCrSectClus, crit)
+		}()
 
 		service := sim.Duration(o.Cost.PageFaultSeq)
 		ce.Spend(service, metrics.CatOSSystem)

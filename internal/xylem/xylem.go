@@ -212,9 +212,44 @@ func (o *OS) lockedService(ce *cluster.CE, lock *sim.Resource, cost sim.Duration
 	if waited > 0 {
 		ce.Charge(waited, metrics.CatOSSpin) // kernel lock spin (Figure 3)
 	}
+	// Release via defer: a CE that fail-stops inside the kernel must
+	// not take the lock down with it.
+	defer lock.Release()
 	ce.Spend(cost, metrics.CatOSSystem)
-	lock.Release()
 	o.Brk.Add(cat, cost)
+}
+
+// LockStall models a kernel-lock holder stall: a rogue kernel thread
+// seizes a kernel memory lock and sits on it for span cycles, so every
+// CE entering that kernel path spins (charged to the paper's KL-spin
+// category). clusterID selects a cluster kernel lock; clusterID < 0
+// targets the global kernel lock.
+func (o *OS) LockStall(clusterID int, span sim.Duration) {
+	lock := o.globalLock
+	name := "xylem.stall.glock"
+	if clusterID >= 0 {
+		c := clusterID % len(o.clusterLocks)
+		lock = o.clusterLocks[c]
+		name = fmt.Sprintf("xylem.stall.clock%d", c)
+	}
+	o.M.Kernel.Spawn(name, func(p *sim.Proc) {
+		lock.Acquire(p)
+		defer lock.Release()
+		p.Hold(span)
+	})
+}
+
+// InvalidateMappings unmaps every mapped page of every region for the
+// given cluster task (clusterID < 0: all cluster tasks), modeling a
+// paging storm — the pager reclaiming frames under memory pressure so
+// the application re-faults its working set. Pages currently mid-fault
+// are left untouched. It returns the number of mappings dropped.
+func (o *OS) InvalidateMappings(clusterID int) int {
+	n := 0
+	for _, r := range o.regions {
+		n += r.InvalidateMappings(clusterID)
+	}
+	return n
 }
 
 // SeqFaults returns the number of sequential page faults serviced.
