@@ -14,6 +14,7 @@
 package cedar
 
 import (
+	"fmt"
 	"hash/fnv"
 
 	"repro/internal/arch"
@@ -22,6 +23,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/hpm"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/perfect"
 	"repro/internal/sim"
 	"repro/internal/statfx"
@@ -68,6 +71,12 @@ type Options struct {
 	// sim.ErrDeadlock. Zero uses a default of 10M cycles (0.5 s of
 	// virtual time); negative disables the watchdog.
 	WatchdogInterval sim.Duration
+	// Observe enables the observability layer: an obs.Recorder wired
+	// through the machine, OS, runtime, and fault injector, plus a
+	// time-series collector sampling concurrency, memory/network
+	// backlog, and the qmon split. Nil leaves observation off (the
+	// zero-cost path). The zero obs.Options value gives defaults.
+	Observe *obs.Options
 }
 
 // defaultWatchdog is the deadlock-check period when
@@ -94,6 +103,8 @@ type Run struct {
 	RT       *cfrt.Runtime
 	Monitor  *hpm.Monitor     // nil unless Options.TraceCapacity > 0
 	Injector *faults.Injector // nil unless Options.Faults was set
+	Obs      *obs.Recorder    // nil unless Options.Observe was set
+	Series   *obs.Collector   // nil unless Options.Observe was set
 }
 
 // Simulate runs one application on one configuration and returns the
@@ -164,6 +175,18 @@ func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error
 	m := cluster.NewMachine(k, cfg, costs)
 	o := xylem.New(m)
 
+	var rec *obs.Recorder
+	var series *obs.Collector
+	if opts.Observe != nil {
+		rec = obs.NewRecorder(*opts.Observe)
+		m.Obs = rec
+		m.GM.SetRecorder(rec)
+		o.Obs = rec
+		series = obs.NewCollector(k, *opts.Observe)
+		registerProbes(series, m)
+		series.Start()
+	}
+
 	var mon *hpm.Monitor
 	if opts.TraceCapacity > 0 {
 		mon = hpm.New(k, opts.TraceCapacity)
@@ -174,10 +197,11 @@ func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error
 	rt := cfrt.New(m, o, mon)
 	rt.TreeFanout = opts.TreeFanout
 	rt.XdoallChunk = opts.XdoallChunk
+	rt.Obs = rec
 
 	var inj *faults.Injector
 	if len(opts.Faults) > 0 {
-		inj = &faults.Injector{M: m, OS: o, Mon: mon, OnCEFail: rt.NotifyCEFailure}
+		inj = &faults.Injector{M: m, OS: o, Mon: mon, Obs: rec, OnCEFail: rt.NotifyCEFailure}
 		inj.Arm(opts.Faults)
 	}
 
@@ -188,7 +212,14 @@ func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error
 			interval = 10_000
 		}
 		sampler = statfx.NewSampler(m, interval)
-		rt.OnFinish = sampler.Stop
+	}
+	if sampler != nil || series != nil {
+		rt.OnFinish = func() {
+			if sampler != nil {
+				sampler.Stop()
+			}
+			series.Stop() // nil-safe
+		}
 	}
 
 	region := o.NewRegion(app.Name+".data", app.DataWords)
@@ -196,10 +227,122 @@ func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error
 	if sampler != nil {
 		sampler.Stop() // idempotent; error paths never reached OnFinish
 	}
+	series.Stop()
 
 	res := core.Collect(app.Name, 1, rt, sampler)
-	run := &Run{Result: res, Machine: m, OS: o, RT: rt, Monitor: mon, Injector: inj}
+	run := &Run{Result: res, Machine: m, OS: o, RT: rt, Monitor: mon, Injector: inj,
+		Obs: rec, Series: series}
 	return run, err
+}
+
+// registerProbes attaches the standard time-series probes to the
+// collector: machine and per-cluster concurrency (the statfx signal),
+// the qmon user/system/interrupt/spin split as CE counts, global-memory
+// module utilization and backlog, network port backlog (the hot-spot
+// signal), and simulation liveness counters.
+func registerProbes(c *obs.Collector, m *cluster.Machine) {
+	countCEs := func(pred func(*cluster.CE) bool) float64 {
+		n := 0.0
+		for _, ce := range m.AllCEs() {
+			if pred(ce) {
+				n++
+			}
+		}
+		return n
+	}
+	c.AddProbe("concurrency", func(now sim.Time) float64 {
+		return countCEs(func(ce *cluster.CE) bool { return ce.Busy().IsActive() })
+	})
+	for ci := range m.Clusters {
+		cl := m.Clusters[ci]
+		c.AddProbe(fmt.Sprintf("concurrency_c%d", ci), func(now sim.Time) float64 {
+			n := 0.0
+			for _, ce := range cl.CEs {
+				if ce.Busy().IsActive() {
+					n++
+				}
+			}
+			return n
+		})
+	}
+	// The qmon split, sampled as how many CEs are in each execution
+	// mode at the instant (Figure 3's user/system/interrupt/spin).
+	c.AddProbe("ces_user", func(now sim.Time) float64 {
+		return countCEs(func(ce *cluster.CE) bool { return ce.Busy().IsUser() })
+	})
+	c.AddProbe("ces_system", func(now sim.Time) float64 {
+		return countCEs(func(ce *cluster.CE) bool { return ce.Busy() == metrics.CatOSSystem })
+	})
+	c.AddProbe("ces_interrupt", func(now sim.Time) float64 {
+		return countCEs(func(ce *cluster.CE) bool { return ce.Busy() == metrics.CatOSInterrupt })
+	})
+	c.AddProbe("ces_spin", func(now sim.Time) float64 {
+		return countCEs(func(ce *cluster.CE) bool { return ce.Busy() == metrics.CatOSSpin })
+	})
+	c.AddProbe("gm_module_util_mean", func(now sim.Time) float64 {
+		us := m.GM.ModuleUtilization(now)
+		if len(us) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, u := range us {
+			sum += u
+		}
+		return sum / float64(len(us))
+	})
+	c.AddProbe("gm_module_util_max", func(now sim.Time) float64 {
+		max := 0.0
+		for _, u := range m.GM.ModuleUtilization(now) {
+			if u > max {
+				max = u
+			}
+		}
+		return max
+	})
+	c.AddProbe("gm_backlog_cycles", func(now sim.Time) float64 {
+		return float64(m.GM.ModuleBacklog(now))
+	})
+	c.AddProbe("gm_accesses", func(now sim.Time) float64 {
+		return float64(m.GM.Stats().Accesses)
+	})
+	c.AddProbe("net_backlog_cycles", func(now sim.Time) float64 {
+		return float64(m.GM.Net().Backlog(now))
+	})
+	c.AddProbe("net_delay_cycles", func(now sim.Time) float64 {
+		return float64(m.GM.Net().Stats().DelayTotal)
+	})
+	c.AddProbe("live_procs", func(now sim.Time) float64 {
+		return float64(m.Kernel.LiveProcs())
+	})
+	c.AddProbe("failed_ces", func(now sim.Time) float64 {
+		return float64(m.FailedCEs())
+	})
+}
+
+// TraceBundle folds the run's hpm event trace and recorder spans into
+// one exportable bundle for obs.WriteTrace. The hpm trace contributes
+// runtime structure (serial sections, loops, iterations, barriers); the
+// recorder contributes OS, memory, and fault spans. Works with either
+// source missing.
+func (r *Run) TraceBundle() *obs.Bundle {
+	b := &obs.Bundle{
+		App:           r.Result.App,
+		Config:        r.Machine.Cfg.Name,
+		CEs:           r.Machine.Cfg.CEs(),
+		CEsPerCluster: r.Machine.Cfg.CEsPerCluster,
+		CT:            r.Result.CT,
+	}
+	var spans []obs.Span
+	var insts []obs.Instant
+	if r.Monitor != nil {
+		spans, insts = obs.FoldTrace(r.Monitor.Trace(), r.Obs)
+	}
+	spans = append(spans, r.Obs.Spans()...)
+	insts = append(insts, r.Obs.Instants()...)
+	obs.SortSpans(spans)
+	b.Spans = obs.ClampSpans(spans, r.Result.CT)
+	b.Instants = insts
+	return b
 }
 
 // Sweep runs the app across the paper's five configurations and

@@ -9,9 +9,17 @@
 //
 //	cedarsim [-app FLO52] [-ces 32] [-steps N] [-flat] [-no-baseline]
 //	         [-fault ce:2@1e6,module:17@5e5]
+//	         [-trace out.json] [-profile out.folded] [-series out.csv|out.prom]
 //
 // With -fault, the run is repeated healthy and degraded and a
 // baseline-vs-degraded overhead-decomposition delta table is printed.
+//
+// The observability flags arm the obs layer: -trace writes a
+// Chrome/Perfetto trace-event file (load it at ui.perfetto.dev),
+// -profile writes folded stacks weighted by virtual cycles (feed to
+// flamegraph.pl or inferno), and -series writes the sampled time
+// series as CSV, or as Prometheus text exposition when the path ends
+// in .prom. With -fault they export the degraded run.
 package main
 
 import (
@@ -19,15 +27,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	cedar "repro"
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/perfect"
 	"repro/internal/sim"
 )
+
+// supportedCEs lists the CE counts of the paper configurations, for
+// error messages.
+func supportedCEs() string {
+	var counts []int
+	for _, c := range arch.PaperConfigs() {
+		counts = append(counts, c.CEs())
+	}
+	sort.Ints(counts)
+	parts := make([]string, len(counts))
+	for i, n := range counts {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, ", ")
+}
 
 // usageErr prints the message plus flag usage and exits with status 2
 // (bad invocation).
@@ -46,6 +72,9 @@ func main() {
 	chunk := flag.Int("chunk", 0, "XDOALL pickup chunk size (>1 amortizes the iteration lock)")
 	tree := flag.Int("tree", 0, "combining-tree fanout for the flat machine's barriers (>1 enables)")
 	faultSpec := flag.String("fault", "", "fault plan, e.g. ce:2@1e6,module:17@5e5 (see internal/faults)")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
+	profilePath := flag.String("profile", "", "write a folded-stack profile weighted by virtual cycles")
+	seriesPath := flag.String("series", "", "write the sampled time series (CSV, or Prometheus text if *.prom)")
 	flag.Parse()
 
 	if *steps < 0 {
@@ -89,19 +118,29 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "cedarsim: no configuration with %d CEs\n", *ces)
-			os.Exit(2)
+			usageErr("no configuration with %d CEs (supported: %s)", *ces, supportedCEs())
 		}
 	}
 
 	opts := cedar.Options{Steps: *steps, XdoallChunk: *chunk, TreeFanout: *tree}
+	exp := exporter{trace: *tracePath, profile: *profilePath, series: *seriesPath}
+	if exp.enabled() {
+		// Arm the obs layer; the trace export also needs the hpm
+		// monitor for runtime-structure spans.
+		opts.Observe = &obs.Options{}
+		if exp.trace != "" && opts.TraceCapacity == 0 {
+			opts.TraceCapacity = 1 << 22
+		}
+	}
 
 	if *faultSpec != "" {
-		runFaulted(app, cfg, opts, *faultSpec)
+		runFaulted(app, cfg, opts, *faultSpec, exp)
 		return
 	}
 
-	res := cedar.Simulate(app, cfg, opts)
+	runX := cedar.SimulateRun(app, cfg, opts)
+	res := runX.Result
+	exp.write(runX)
 
 	var base *core.Result
 	if !*noBase && cfg.CEs() > 1 {
@@ -176,9 +215,61 @@ func main() {
 		spin/float64(int64(res.CT)*int64(cfg.CEs()))*100)
 }
 
+// exporter writes the observability outputs of a run to the paths the
+// flags selected (empty paths are skipped).
+type exporter struct {
+	trace, profile, series string
+}
+
+func (e exporter) enabled() bool { return e.trace != "" || e.profile != "" || e.series != "" }
+
+// write exports the run's trace, profile, and series files. Export
+// failures are fatal: an invocation that asked for an artifact and
+// cannot produce it should not exit 0.
+func (e exporter) write(run *cedar.Run) {
+	if e.trace != "" {
+		e.toFile(e.trace, func(f *os.File) error {
+			return obs.WriteTrace(f, run.TraceBundle())
+		})
+	}
+	if e.profile != "" {
+		e.toFile(e.profile, func(f *os.File) error {
+			return obs.WriteFolded(f, run.Result.App, run.Result.CT, run.Machine.Accounts())
+		})
+	}
+	if e.series != "" {
+		e.toFile(e.series, func(f *os.File) error {
+			if strings.HasSuffix(e.series, ".prom") {
+				return obs.WriteProm(f, run.Series, map[string]string{
+					"app": run.Result.App, "config": run.Machine.Cfg.Name,
+				})
+			}
+			return obs.WriteCSV(f, run.Series)
+		})
+	}
+}
+
+func (e exporter) toFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(1)
+	}
+	werr := fn(f)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: writing %s: %v\n", path, werr)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cedarsim: wrote %s\n", path)
+}
+
 // runFaulted runs the degraded-vs-baseline comparison for one fault
 // plan and prints the decomposition delta table.
-func runFaulted(app perfect.App, cfg arch.Config, opts cedar.Options, spec string) {
+func runFaulted(app perfect.App, cfg arch.Config, opts cedar.Options, spec string, exp exporter) {
 	plan, err := faults.Parse(spec)
 	if err != nil {
 		usageErr("%v", err)
@@ -194,6 +285,10 @@ func runFaulted(app perfect.App, cfg arch.Config, opts cedar.Options, spec strin
 		os.Exit(1)
 	}
 	fr := reports[0]
+	if fr.Run != nil {
+		// Export the degraded run: its trace shows the fault windows.
+		exp.write(fr.Run)
+	}
 	if fr.Run != nil && fr.Run.Injector != nil {
 		fmt.Println("Fault activations:")
 		for _, a := range fr.Run.Injector.Applied() {

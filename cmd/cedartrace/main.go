@@ -5,53 +5,106 @@
 //
 // Usage:
 //
-//	cedartrace [-app FLO52] [-ces 16] [-steps 1] [-max 200] [-summary]
+//	cedartrace [-app FLO52] [-ces 16] [-steps 1] [-max 200]
+//	           [-summary [-json]] [-hw] [-obs]
+//
+// -summary prints per-event counts and pair durations; with -json the
+// same summary is emitted as a JSON object for scripting. -hw prints
+// hardware counters. -obs arms the observability recorder and prints a
+// span/series digest: spans per category, the slowest spans, and the
+// sampled time series with mean and final values.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	cedar "repro"
 	"repro/internal/arch"
 	"repro/internal/hpm"
+	"repro/internal/obs"
 	"repro/internal/perfect"
 )
 
+// supportedCEs lists the CE counts of the paper configurations, for
+// error messages.
+func supportedCEs() string {
+	var counts []int
+	for _, c := range arch.PaperConfigs() {
+		counts = append(counts, c.CEs())
+	}
+	sort.Ints(counts)
+	parts := make([]string, len(counts))
+	for i, n := range counts {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, ", ")
+}
+
 func main() {
 	appName := flag.String("app", "FLO52", "application name")
-	ces := flag.Int("ces", 16, "processor count")
+	ces := flag.Int("ces", 16, "processor count: 1, 4, 8, 16, or 32")
 	steps := flag.Int("steps", 1, "timesteps to run (trace volume grows fast)")
 	max := flag.Int("max", 200, "maximum trace records to print")
 	summary := flag.Bool("summary", false, "print per-event counts and pair durations only")
+	jsonOut := flag.Bool("json", false, "with -summary: emit the summary as JSON")
 	hw := flag.Bool("hw", false, "print hardware counters (module utilization, hot ports, cache)")
+	obsMode := flag.Bool("obs", false, "arm the obs recorder and print a span/series digest")
 	flag.Parse()
+
+	if *jsonOut && !*summary {
+		fmt.Fprintln(os.Stderr, "cedartrace: -json requires -summary")
+		os.Exit(2)
+	}
 
 	app, ok := perfect.ByName(*appName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "cedartrace: unknown application %q\n", *appName)
 		os.Exit(2)
 	}
+	// Exact-match the configuration: a -ces value that matches no paper
+	// configuration must not fall through to the zero arch.Config
+	// (an empty machine would "run" and report nonsense).
 	var cfg arch.Config
+	found := false
 	for _, c := range arch.PaperConfigs() {
 		if c.CEs() == *ces {
-			cfg = c
+			cfg, found = c, true
+			break
 		}
 	}
-	if cfg.Name == "" {
-		fmt.Fprintf(os.Stderr, "cedartrace: no configuration with %d CEs\n", *ces)
+	if !found {
+		fmt.Fprintf(os.Stderr, "cedartrace: no configuration with %d CEs (supported: %s)\n",
+			*ces, supportedCEs())
 		os.Exit(2)
 	}
 
-	run := cedar.SimulateRun(app, cfg, cedar.Options{
+	opts := cedar.Options{
 		Steps:         *steps,
 		TraceCapacity: 1 << 22,
-	})
+	}
+	if *obsMode {
+		opts.Observe = &obs.Options{}
+	}
+	run := cedar.SimulateRun(app, cfg, opts)
 	mon := run.Monitor
+
+	if *summary && *jsonOut {
+		printJSONSummary(run)
+		return
+	}
 
 	fmt.Printf("%s on %s: %d cycles, %d trace records (%d dropped)\n\n",
 		app.Name, cfg.Name, run.Result.CT, len(mon.Trace()), mon.Dropped())
+
+	if *obsMode {
+		printObsDigest(run)
+		return
+	}
 
 	if *hw {
 		ct := run.Result.CT
@@ -106,5 +159,110 @@ func main() {
 			break
 		}
 		fmt.Printf("%12d  ce%-3d %-14s aux=%d\n", rec.At, rec.CE, rec.Event, rec.Aux)
+	}
+}
+
+// jsonSummary is the -summary -json document: run identity, per-event
+// counts, and the barrier/helper-wait pair durations per CE.
+type jsonSummary struct {
+	App         string           `json:"app"`
+	Config      string           `json:"config"`
+	CEs         int              `json:"ces"`
+	Cycles      int64            `json:"cycles"`
+	Records     int              `json:"records"`
+	Dropped     uint64           `json:"dropped"`
+	EventCounts map[string]int64 `json:"event_counts"`
+	BarrierCyc  map[string]int64 `json:"barrier_cycles_per_ce"`
+	HelperWait  map[string]int64 `json:"helper_wait_cycles_per_ce"`
+}
+
+func printJSONSummary(run *cedar.Run) {
+	mon := run.Monitor
+	s := jsonSummary{
+		App:         run.Result.App,
+		Config:      run.Machine.Cfg.Name,
+		CEs:         run.Machine.Cfg.CEs(),
+		Cycles:      int64(run.Result.CT),
+		Records:     len(mon.Trace()),
+		Dropped:     mon.Dropped(),
+		EventCounts: map[string]int64{},
+		BarrierCyc:  map[string]int64{},
+		HelperWait:  map[string]int64{},
+	}
+	for ev := hpm.EventID(0); ev < hpm.NumEvents; ev++ {
+		if n := mon.Count(ev); n > 0 {
+			s.EventCounts[ev.String()] = int64(n)
+		}
+	}
+	for ce, d := range hpm.PairDurations(mon.Trace(), hpm.EvBarrierEnter, hpm.EvBarrierExit) {
+		s.BarrierCyc[fmt.Sprintf("ce%d", ce)] = int64(d)
+	}
+	for ce, d := range hpm.PairDurations(mon.Trace(), hpm.EvWaitStart, hpm.EvWaitEnd) {
+		s.HelperWait[fmt.Sprintf("ce%d", ce)] = int64(d)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		fmt.Fprintf(os.Stderr, "cedartrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printObsDigest summarizes the obs recorder's spans and the sampled
+// time series for a quick look without exporting files.
+func printObsDigest(run *cedar.Run) {
+	bundle := run.TraceBundle()
+	byCat := map[string]int{}
+	catTotal := map[string]int64{}
+	for _, s := range bundle.Spans {
+		byCat[s.Cat]++
+		catTotal[s.Cat] += int64(s.End - s.Start)
+	}
+	fmt.Printf("observability digest: %d spans, %d instants (%d dropped at capacity)\n\n",
+		len(bundle.Spans), len(bundle.Instants), run.Obs.Dropped())
+
+	fmt.Println("spans per category:")
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Printf("  %-8s %8d spans  %14d span-cycles\n", c, byCat[c], catTotal[c])
+	}
+
+	slow := append([]obs.Span(nil), bundle.Spans...)
+	sort.Slice(slow, func(i, j int) bool {
+		return slow[i].End-slow[i].Start > slow[j].End-slow[j].Start
+	})
+	if len(slow) > 10 {
+		slow = slow[:10]
+	}
+	fmt.Println("\nslowest spans:")
+	for _, s := range slow {
+		track := fmt.Sprintf("ce%d", s.Track)
+		if s.Track == obs.TrackMachine {
+			track = "machine"
+		}
+		fmt.Printf("  %-8s %-24s %12d cycles  @%d\n", track, s.Name, int64(s.End-s.Start), int64(s.Start))
+	}
+
+	fmt.Println("\ntime series (mean / last):")
+	for _, name := range run.Series.Names() {
+		mean, err := run.Series.Mean(name)
+		if err != nil {
+			continue
+		}
+		_, vals, ok := run.Series.Last()
+		last := 0.0
+		if ok {
+			for i, n := range run.Series.Names() {
+				if n == name {
+					last = vals[i]
+					break
+				}
+			}
+		}
+		fmt.Printf("  %-22s %12.2f / %-12.2f (%d samples)\n", name, mean, last, run.Series.Len())
 	}
 }

@@ -104,6 +104,12 @@ func (rt *Runtime) crossClusterLoop(l *Loop, c Construct) {
 	rt.boardGen++
 	al := &activeLoop{gen: rt.boardGen, loop: l, construct: c}
 	rt.cur = al
+	// Register the loop's source name with the observability layer so
+	// spans folded from the trace read "fine-sweep [sdoall/cdoall]"
+	// instead of a bare generation number.
+	if rt.Obs != nil {
+		rt.Obs.NameLoop(int64(al.gen), fmt.Sprintf("%s [%s]", l.Name, c))
+	}
 	switch c {
 	case Sdoall:
 		rt.stats.SdoallLoops++

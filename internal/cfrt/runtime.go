@@ -35,6 +35,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hpm"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/xylem"
 )
@@ -108,7 +109,8 @@ func (l *Loop) Total() int {
 type Runtime struct {
 	M    *cluster.Machine
 	OS   *xylem.OS
-	Mon  *hpm.Monitor // may be nil
+	Mon  *hpm.Monitor  // may be nil
+	Obs  *obs.Recorder // may be nil; receives loop-name metadata
 	Cost arch.CostModel
 
 	// Global-memory control words (addresses).

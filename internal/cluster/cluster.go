@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/gmem"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -26,6 +27,11 @@ type Machine struct {
 	Kernel   *sim.Kernel
 	GM       *gmem.Memory
 	Clusters []*Cluster
+	// Obs, when non-nil, receives hardware-level observability spans
+	// (slow global-memory stalls) and instants (CE fail-stops). Set it
+	// before the run starts; nil costs one pointer comparison per
+	// access.
+	Obs *obs.Recorder
 
 	gmBrk  int64 // bump allocator for global memory, in words
 	failed int   // CEs failed via CE.Fail
@@ -189,9 +195,16 @@ func (ce *CE) Fail() {
 		return
 	}
 	ce.failed = true
-	ce.Cluster.Machine.failed++
+	// A fail-stop can land mid-Spend: the abort unwinds out of Hold
+	// before spendRaw restores busyCat, which would leave the dead CE
+	// permanently "active" to sampling monitors (statfx would keep
+	// counting it toward concurrency). Park it explicitly.
+	ce.busyCat = metrics.CatIdle
+	m := ce.Cluster.Machine
+	m.failed++
+	m.Obs.Instant(ce.Global(), "ce-fail", obs.CatFault, m.Kernel.Now(), 0)
 	if ce.Proc != nil {
-		ce.Cluster.Machine.Kernel.Abort(ce.Proc)
+		m.Kernel.Abort(ce.Proc)
 	}
 }
 
@@ -217,9 +230,13 @@ func (ce *CE) Charge(d sim.Duration, cat metrics.Category) {
 // to metrics.CatGMStall. It returns the total stall and the queueing
 // (contention) portion.
 func (ce *CE) GMAccess(addr int64, words int) (stall, queued sim.Duration) {
+	m := ce.Machine()
 	now := ce.Now()
-	done, q := ce.Machine().GM.Access(now, ce.ID, addr, words)
+	done, q := m.GM.Access(now, ce.ID, addr, words)
 	stall = done - now
+	if m.Obs != nil && stall >= m.Obs.SlowStall() {
+		m.Obs.Span(ce.Global(), "gm-stall", obs.CatMem, now, done, addr)
+	}
 	ce.SpendUntil(done, metrics.CatGMStall)
 	return stall, q
 }
@@ -227,9 +244,13 @@ func (ce *CE) GMAccess(addr int64, words int) (stall, queued sim.Duration) {
 // GMAccessAs is GMAccess but charges the stall to an explicit
 // category (e.g. CatPickIter for iteration-pickup traffic).
 func (ce *CE) GMAccessAs(addr int64, words int, cat metrics.Category) (stall, queued sim.Duration) {
+	m := ce.Machine()
 	now := ce.Now()
-	done, q := ce.Machine().GM.Access(now, ce.ID, addr, words)
+	done, q := m.GM.Access(now, ce.ID, addr, words)
 	stall = done - now
+	if m.Obs != nil && stall >= m.Obs.SlowStall() {
+		m.Obs.Span(ce.Global(), "gm-stall", obs.CatMem, now, done, addr)
+	}
 	ce.SpendUntil(done, cat)
 	return stall, q
 }

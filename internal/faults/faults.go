@@ -32,6 +32,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cluster"
 	"repro/internal/hpm"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/xylem"
 )
@@ -294,7 +295,8 @@ type Applied struct {
 type Injector struct {
 	M   *cluster.Machine
 	OS  *xylem.OS
-	Mon *hpm.Monitor // may be nil
+	Mon *hpm.Monitor  // may be nil
+	Obs *obs.Recorder // may be nil; receives fault activation spans
 
 	// OnCEFail, when set, is called after a CE fail-stops so the
 	// runtime can re-evaluate barriers and job quorums that counted
@@ -350,7 +352,15 @@ func (inj *Injector) apply(ev Event) {
 		note = fmt.Sprintf("paging storm dropped %d mappings", n)
 	}
 	inj.Mon.Post(hpm.EvFaultInject, ev.Target, int32(ev.Kind))
-	inj.applied = append(inj.applied, Applied{Event: ev, At: inj.M.Kernel.Now(), Note: note})
+	now := inj.M.Kernel.Now()
+	if ev.Kind == LockStall {
+		// A lock stall has a known extent; render it as a span so the
+		// trace shows the window every kernel entry spun through.
+		inj.Obs.Span(obs.TrackMachine, ev.Kind.String(), obs.CatFault, now, now+ev.Span, int64(ev.Target))
+	} else {
+		inj.Obs.Instant(obs.TrackMachine, ev.Kind.String(), obs.CatFault, now, int64(ev.Target))
+	}
+	inj.applied = append(inj.applied, Applied{Event: ev, At: now, Note: note})
 }
 
 // Applied returns the activation log, in firing order.

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,7 @@ type Memory struct {
 	cost    arch.CostModel
 	net     *network.Pair
 	modules []*sim.Calendar
+	rec     *obs.Recorder
 
 	// Degraded-mode state: per-module service-time inflation factors
 	// (0 or 1 = healthy) and offline flags. Requests to an offline
@@ -64,6 +66,12 @@ func New(cfg arch.Config, cost arch.CostModel) *Memory {
 
 // Net exposes the network pair (for hot-spot statistics).
 func (m *Memory) Net() *network.Pair { return m.net }
+
+// SetRecorder arms the observability recorder: accesses whose
+// queueing delay reaches the recorder's slow-stall threshold post a
+// hot-spot instant naming the access's home module. A nil recorder
+// disarms.
+func (m *Memory) SetRecorder(r *obs.Recorder) { m.rec = r }
 
 func (m *Memory) ensureFaultState() {
 	if m.inflate == nil {
@@ -243,9 +251,26 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 	if queued < 0 {
 		queued = 0
 	}
+	if m.rec != nil && queued >= m.rec.SlowStall() {
+		m.rec.Instant(obs.TrackMachine, "gm-hot", obs.CatMem, at, int64(firstModule))
+	}
 	m.stallTotal += done - at
 	m.idealTotal += done - at - queued
 	return done, queued
+}
+
+// ModuleBacklog returns the deepest module queue at time now: the
+// largest span by which any module's next-free time exceeds now. It is
+// the memory-side hot-spot pressure signal the time-series collector
+// samples.
+func (m *Memory) ModuleBacklog(now sim.Time) sim.Duration {
+	var max sim.Duration
+	for _, mod := range m.modules {
+		if b := mod.FreeAt() - now; b > max {
+			max = b
+		}
+	}
+	return max
 }
 
 // IdealLatency returns the zero-contention completion time for an

@@ -209,6 +209,25 @@ func (p *Pair) Stats() PortStats {
 	return st
 }
 
+// Backlog returns the deepest port queue at time now across both
+// directions: the largest span by which any port's next-free time
+// exceeds now. Hot spots (many CEs hammering one module's port, e.g. a
+// busy-wait barrier through global memory) show up as spikes in this
+// signal; the time-series collector samples it.
+func (p *Pair) Backlog(now sim.Time) sim.Duration {
+	var max sim.Duration
+	for _, n := range []*Net{p.Forward, p.Return} {
+		for _, stage := range n.ports {
+			for _, port := range stage {
+				if b := port.FreeAt() - now; b > max {
+					max = b
+				}
+			}
+		}
+	}
+	return max
+}
+
 // MaxPortDelay returns the largest cumulative queueing delay on any
 // single port — a hot-spot indicator.
 func (p *Pair) MaxPortDelay() (name string, delay sim.Duration) {

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// foldGroup maps an accounting category to its top-level flamegraph
+// frame, mirroring the paper's Figure-3 fold: runtime-library spinning
+// is user time; only the Xylem categories are "os".
+func foldGroup(c metrics.Category) string {
+	switch {
+	case c.IsUser():
+		return "user"
+	case c == metrics.CatOSSystem, c == metrics.CatOSInterrupt, c == metrics.CatOSSpin:
+		return "os"
+	default:
+		return "idle"
+	}
+}
+
+// FoldedLine is one stack of the folded profile.
+type FoldedLine struct {
+	Stack  string // semicolon-separated frames, flamegraph.pl syntax
+	Cycles int64
+}
+
+// Folded builds the pprof-style folded-stack profile from the per-CE
+// accounts: one stack per (CE, category), weighted by virtual cycles,
+// with frames app;ceN;group;category.
+//
+// The profile is normalized so every CE's stacks sum to exactly the
+// completion time — the flamegraph answers "where does CT × CEs go?":
+// time a CE never accounted (blocked before startup, fail-stopped) is
+// folded into idle, and the small overshoot the end-of-run accounting
+// flush can produce (work charged without virtual time passing) is
+// trimmed from idle first, then from the largest categories.
+func Folded(app string, ct sim.Time, accounts []*metrics.Account) []FoldedLine {
+	var out []FoldedLine
+	for _, a := range accounts {
+		var vals [metrics.NumCategories]int64
+		var sum int64
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			vals[c] = int64(a.Get(c))
+			sum += vals[c]
+		}
+		if sum < int64(ct) {
+			vals[metrics.CatIdle] += int64(ct) - sum
+		}
+		for excess := sum - int64(ct); excess > 0; {
+			// Trim idle first, then whichever category is largest.
+			victim := metrics.CatIdle
+			if vals[victim] == 0 {
+				for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+					if vals[c] > vals[victim] {
+						victim = c
+					}
+				}
+			}
+			cut := excess
+			if cut > vals[victim] {
+				cut = vals[victim]
+			}
+			vals[victim] -= cut
+			excess -= cut
+			if cut == 0 {
+				break // nothing left to trim (ct == 0)
+			}
+		}
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			if vals[c] == 0 {
+				continue
+			}
+			out = append(out, FoldedLine{
+				Stack:  fmt.Sprintf("%s;ce%d;%s;%s", app, a.CE(), foldGroup(c), c),
+				Cycles: vals[c],
+			})
+		}
+	}
+	return out
+}
+
+// WriteFolded writes the folded-stack profile in the format
+// flamegraph.pl and inferno consume: one "stack weight" line per
+// (CE, category). The total weight equals CT × CEs (see Folded).
+func WriteFolded(w io.Writer, app string, ct sim.Time, accounts []*metrics.Account) error {
+	for _, l := range Folded(app, ct, accounts) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", l.Stack, l.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

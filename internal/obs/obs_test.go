@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Span(0, "x", CatRT, 0, 10, 0)
+	r.Instant(0, "x", CatRT, 5, 0)
+	r.NameLoop(1, "a")
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if got := r.SlowStall(); got != sim.Forever {
+		t.Fatalf("nil SlowStall = %d, want Forever", got)
+	}
+	if r.Spans() != nil || r.Instants() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+	if got := r.LoopName(7); got != "loop#7" {
+		t.Fatalf("nil LoopName = %q", got)
+	}
+}
+
+func TestRecorderCapacityDrops(t *testing.T) {
+	r := NewRecorder(Options{SpanCapacity: 2})
+	for i := 0; i < 5; i++ {
+		r.Span(0, "s", CatRT, sim.Time(i), sim.Time(i+1), 0)
+	}
+	if len(r.Spans()) != 2 {
+		t.Fatalf("kept %d spans, want 2", len(r.Spans()))
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", r.Dropped())
+	}
+}
+
+func TestRecorderSwapsInvertedSpan(t *testing.T) {
+	r := NewRecorder(Options{})
+	r.Span(0, "s", CatRT, 10, 5, 0)
+	s := r.Spans()[0]
+	if s.Start != 5 || s.End != 10 {
+		t.Fatalf("inverted span not normalized: %+v", s)
+	}
+}
+
+func TestFoldTracePairsAndLoops(t *testing.T) {
+	rec := NewRecorder(Options{})
+	rec.NameLoop(1, "sweep")
+	records := []hpm.Record{
+		{Event: hpm.EvSerialStart, CE: 0, At: 0},
+		{Event: hpm.EvSerialEnd, CE: 0, At: 100},
+		{Event: hpm.EvLoopPost, CE: 0, At: 100, Aux: 1},
+		{Event: hpm.EvHelperJoin, CE: 8, At: 110, Aux: 1},
+		{Event: hpm.EvIterStart, CE: 8, At: 120, Aux: 3},
+		{Event: hpm.EvIterEnd, CE: 8, At: 150, Aux: 3},
+		{Event: hpm.EvHelperDetach, CE: 8, At: 160, Aux: 1},
+		{Event: hpm.EvBarrierEnter, CE: 0, At: 140, Aux: 1},
+		{Event: hpm.EvBarrierExit, CE: 0, At: 170, Aux: 1},
+		{Event: hpm.EvFaultInject, CE: 2, At: 130, Aux: 0},
+	}
+	spans, instants := FoldTrace(records, rec)
+
+	want := map[string]bool{}
+	for _, s := range spans {
+		want[s.Name] = true
+		if s.End < s.Start {
+			t.Fatalf("span %q inverted: %+v", s.Name, s)
+		}
+	}
+	for _, name := range []string{"serial", "iter", "barrier", "sweep"} {
+		if !want[name] {
+			t.Fatalf("missing folded span %q; have %v", name, want)
+		}
+	}
+
+	// One machine-track loop window plus two participation spans.
+	loops := 0
+	parts := 0
+	for _, s := range spans {
+		if s.Cat == CatLoop {
+			if s.Track == TrackMachine {
+				loops++
+				if s.Start != 100 || s.End != 170 {
+					t.Fatalf("loop window = [%d,%d], want [100,170]", s.Start, s.End)
+				}
+			} else {
+				parts++
+			}
+		}
+	}
+	if loops != 1 || parts != 2 {
+		t.Fatalf("loops=%d parts=%d, want 1 and 2", loops, parts)
+	}
+
+	// Spans sorted by start.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("spans not sorted at %d", i)
+		}
+	}
+
+	gotFault := false
+	for _, in := range instants {
+		if in.Name == "fault-inject" {
+			gotFault = true
+		}
+	}
+	if !gotFault {
+		t.Fatal("fault-inject instant not folded")
+	}
+}
+
+func TestFoldTraceDropsUnmatched(t *testing.T) {
+	records := []hpm.Record{
+		{Event: hpm.EvIterStart, CE: 0, At: 10, Aux: 0},
+		// no EvIterEnd: truncated buffer
+	}
+	spans, _ := FoldTrace(records, nil)
+	if len(spans) != 0 {
+		t.Fatalf("unmatched start produced %d spans", len(spans))
+	}
+}
+
+func TestClampSpans(t *testing.T) {
+	spans := []Span{
+		{Name: "a", Start: 0, End: 50},
+		{Name: "b", Start: 40, End: 200},
+		{Name: "c", Start: 150, End: 160},
+	}
+	out := ClampSpans(spans, 100)
+	if len(out) != 2 {
+		t.Fatalf("clamped to %d spans, want 2", len(out))
+	}
+	if out[1].End != 100 {
+		t.Fatalf("span b end = %d, want 100", out[1].End)
+	}
+}
+
+func TestCollectorRingAndSeries(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCollector(k, Options{SeriesInterval: 10, SeriesCapacity: 4})
+	c.AddProbe("now", func(now sim.Time) float64 { return float64(now) })
+	c.Start()
+	k.Run(100) // samples at 10,20,...,100
+	c.Stop()
+
+	if c.Taken() != 10 {
+		t.Fatalf("taken = %d, want 10", c.Taken())
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want ring capacity 4", c.Len())
+	}
+	times := c.Times()
+	if times[0] != 70 || times[3] != 100 {
+		t.Fatalf("ring kept %v, want [70 80 90 100]", times)
+	}
+	s, err := c.Series("now")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s {
+		if v != float64(times[i]) {
+			t.Fatalf("series[%d] = %v, want %v", i, v, times[i])
+		}
+	}
+	if _, err := c.Series("missing"); err == nil {
+		t.Fatal("Series(missing) did not error")
+	}
+	at, vals, ok := c.Last()
+	if !ok || at != 100 || vals[0] != 100 {
+		t.Fatalf("Last = %v %v %v", at, vals, ok)
+	}
+	m, err := c.Mean("now")
+	if err != nil || m != 85 {
+		t.Fatalf("Mean = %v (%v), want 85", m, err)
+	}
+}
+
+func TestCollectorStopEndsSampling(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCollector(k, Options{SeriesInterval: 10, SeriesCapacity: 16})
+	c.AddProbe("one", func(sim.Time) float64 { return 1 })
+	c.Start()
+	k.Run(30)
+	c.Stop()
+	k.Run(200)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d after Stop, want 3", c.Len())
+	}
+}
+
+func TestFoldedTotalsEqualCTTimesCEs(t *testing.T) {
+	const ct = 1000
+	a0 := metrics.NewAccount(0)
+	a0.Add(metrics.CatSerial, 300)
+	a0.Add(metrics.CatOSSystem, 200) // 500 unaccounted -> idle
+	a1 := metrics.NewAccount(1)
+	a1.Add(metrics.CatLoopIter, 900)
+	a1.Add(metrics.CatOSSpin, 400) // overshoot of 300 -> trimmed
+	accounts := []*metrics.Account{a0, a1}
+
+	lines := Folded("APP", ct, accounts)
+	var total int64
+	perCE := map[string]int64{}
+	for _, l := range lines {
+		total += l.Cycles
+		frames := strings.Split(l.Stack, ";")
+		if len(frames) != 4 || frames[0] != "APP" {
+			t.Fatalf("bad stack %q", l.Stack)
+		}
+		perCE[frames[1]] += l.Cycles
+	}
+	if total != ct*int64(len(accounts)) {
+		t.Fatalf("total weight = %d, want %d", total, ct*int64(len(accounts)))
+	}
+	for ce, w := range perCE {
+		if w != ct {
+			t.Fatalf("%s weight = %d, want %d", ce, w, ct)
+		}
+	}
+}
+
+func TestWriteFoldedFormat(t *testing.T) {
+	a := metrics.NewAccount(3)
+	a.Add(metrics.CatLoopIter, 60)
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, "FLO52", 100, []*metrics.Account{a}); err != nil {
+		t.Fatal(err)
+	}
+	want := "FLO52;ce3;user;loop-iter 60\nFLO52;ce3;idle;idle 40\n"
+	if buf.String() != want {
+		t.Fatalf("folded output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	b := &Bundle{
+		App: "FLO52", Config: "16proc", CEs: 2, CEsPerCluster: 8, CT: 200,
+		Spans: []Span{
+			{Track: TrackMachine, Name: "sweep", Cat: CatLoop, Start: 10, End: 150, Aux: 1},
+			{Track: 0, Name: "iter", Cat: CatRT, Start: 20, End: 80, Aux: 5},
+			{Track: 1, Name: "pick", Cat: CatRT, Start: 20, End: 30, Aux: 1},
+		},
+		Instants: []Instant{{Track: TrackMachine, Name: "fault-inject", Cat: CatFault, At: 60}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	lastTs := -1.0
+	asyncOpen := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		ph := ev["ph"].(string)
+		if ph == "M" {
+			continue
+		}
+		ts := ev["ts"].(float64)
+		if ts < lastTs {
+			t.Fatalf("ts went backwards: %v after %v", ts, lastTs)
+		}
+		lastTs = ts
+		switch ph {
+		case "X":
+			if ev["dur"].(float64) < 0 {
+				t.Fatalf("negative dur in %v", ev)
+			}
+		case "b":
+			asyncOpen[ev["id"].(string)]++
+		case "e":
+			asyncOpen[ev["id"].(string)]--
+		}
+	}
+	for id, n := range asyncOpen {
+		if n != 0 {
+			t.Fatalf("async id %s unbalanced: %d", id, n)
+		}
+	}
+}
+
+func TestWriteCSVAndProm(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCollector(k, Options{SeriesInterval: 5, SeriesCapacity: 8})
+	c.AddProbe("concurrency", func(sim.Time) float64 { return 3 })
+	c.AddProbe("gm util (mean)", func(sim.Time) float64 { return 0.5 })
+	c.Start()
+	k.Run(20)
+	c.Stop()
+
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, c); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "cycles,seconds,concurrency,gm util (mean)" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 5 { // header + 4 samples
+		t.Fatalf("csv has %d lines, want 5", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "5,") || !strings.HasSuffix(lines[1], ",3,0.5") {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+
+	var prom bytes.Buffer
+	if err := WriteProm(&prom, c, map[string]string{"app": "FLO52", "config": "16proc"}); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, want := range []string{
+		"# TYPE cedar_concurrency gauge",
+		`cedar_concurrency{app="FLO52",config="16proc"} 3`,
+		`cedar_gm_util__mean_{app="FLO52",config="16proc"} 0.5`,
+		"cedar_virtual_cycles",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+
+	var empty bytes.Buffer
+	ec := NewCollector(sim.NewKernel(2), Options{SeriesInterval: 5})
+	if err := WriteProm(&empty, ec, nil); err == nil {
+		t.Fatal("WriteProm with no samples did not error")
+	}
+}

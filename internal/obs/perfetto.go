@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Bundle is everything the trace exporter needs from one run.
+type Bundle struct {
+	App           string
+	Config        string
+	CEs           int
+	CEsPerCluster int
+	CT            sim.Time
+	Spans         []Span
+	Instants      []Instant
+}
+
+// CycleMicros converts cycles to microseconds for trace timestamps:
+// one cycle is 50 ns (the hpm resolution and the CE clock), so 20
+// cycles per microsecond.
+func CycleMicros(t sim.Time) float64 { return float64(t) * 0.05 }
+
+// traceEvent is one Chrome/Perfetto trace-event JSON object.
+type traceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const tracePid = 1
+
+// tidFor maps a span track to a trace thread id: CE g is thread g+1,
+// the machine track is thread 0.
+func tidFor(track int) int {
+	if track == TrackMachine {
+		return 0
+	}
+	return track + 1
+}
+
+// WriteTrace writes the bundle as Chrome trace-event JSON, loadable by
+// Perfetto (ui.perfetto.dev) and chrome://tracing: one named thread
+// track per CE, a machine track, async begin/end pairs for each
+// parallel-loop window, complete (X) events for every span, and
+// instant events for the point markers. Events are sorted by
+// timestamp; at equal timestamps enclosing spans precede their
+// children, so stack-based consumers nest correctly.
+func WriteTrace(w io.Writer, b *Bundle) error {
+	var evs []traceEvent
+
+	// Process and thread metadata. Metadata events carry no timestamp.
+	meta := func(tid int, key, name string) traceEvent {
+		return traceEvent{Ph: "M", Pid: tracePid, Tid: tid, Name: key,
+			Args: map[string]any{"name": name}}
+	}
+	var metas []traceEvent
+	metas = append(metas, meta(0, "process_name",
+		fmt.Sprintf("cedar %s on %s", b.App, b.Config)))
+	metas = append(metas, meta(0, "thread_name", "machine"))
+	for g := 0; g < b.CEs; g++ {
+		label := fmt.Sprintf("ce%d", g)
+		if b.CEsPerCluster > 0 {
+			label = fmt.Sprintf("ce%d (c%d.ce%d)", g, g/b.CEsPerCluster, g%b.CEsPerCluster)
+		}
+		metas = append(metas, meta(tidFor(g), "thread_name", label))
+	}
+
+	// sortKey orders events at equal timestamps: async begins first,
+	// then complete spans (longest first via pre-sorted input), then
+	// instants, then async ends.
+	type keyed struct {
+		ts   float64
+		prio int
+		dur  float64
+		ev   traceEvent
+	}
+	var body []keyed
+	add := func(ts float64, prio int, dur float64, ev traceEvent) {
+		body = append(body, keyed{ts: ts, prio: prio, dur: dur, ev: ev})
+	}
+
+	for _, s := range b.Spans {
+		ts := CycleMicros(s.Start)
+		dur := CycleMicros(s.End) - ts
+		if s.Track == TrackMachine {
+			// Async track: one begin/end pair per loop window, keyed by
+			// the loop generation.
+			id := fmt.Sprintf("0x%x", s.Aux)
+			add(ts, 0, dur, traceEvent{Name: s.Name, Ph: "b", Pid: tracePid, Tid: 0,
+				Ts: ts, Cat: s.Cat, ID: id})
+			end := CycleMicros(s.End)
+			add(end, 3, 0, traceEvent{Name: s.Name, Ph: "e", Pid: tracePid, Tid: 0,
+				Ts: end, Cat: s.Cat, ID: id})
+			continue
+		}
+		d := dur
+		add(ts, 1, dur, traceEvent{Name: s.Name, Ph: "X", Pid: tracePid, Tid: tidFor(s.Track),
+			Ts: ts, Dur: &d, Cat: s.Cat, Args: map[string]any{"aux": s.Aux}})
+	}
+	for _, in := range b.Instants {
+		ts := CycleMicros(in.At)
+		scope := "t"
+		if in.Track == TrackMachine {
+			scope = "p"
+		}
+		add(ts, 2, 0, traceEvent{Name: in.Name, Ph: "i", Pid: tracePid, Tid: tidFor(in.Track),
+			Ts: ts, Cat: in.Cat, S: scope, Args: map[string]any{"aux": in.Aux}})
+	}
+
+	sort.SliceStable(body, func(i, j int) bool {
+		if body[i].ts != body[j].ts {
+			return body[i].ts < body[j].ts
+		}
+		if body[i].prio != body[j].prio {
+			return body[i].prio < body[j].prio
+		}
+		return body[i].dur > body[j].dur
+	})
+
+	evs = append(evs, metas...)
+	for _, k := range body {
+		evs = append(evs, k.ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"app":               b.App,
+			"config":            b.Config,
+			"completion_cycles": int64(b.CT),
+		},
+	})
+}

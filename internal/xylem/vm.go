@@ -3,6 +3,7 @@ package xylem
 import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -155,6 +156,7 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 		cpi := sim.Duration(o.Cost.CPIService / 4)
 		ce.Spend(cpi, metrics.CatOSInterrupt)
 		o.Brk.Add(metrics.OSCpi, cpi)
+		o.Obs.Span(ce.Global(), "pgflt(conc)", obs.CatOS, start, ce.Now(), int64(p))
 		return ce.Now() - start
 
 	default: // pageUnmapped
@@ -199,9 +201,11 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 			cpi := sim.Duration(o.Cost.CPIService / 4)
 			ce.Spend(cpi, metrics.CatOSInterrupt)
 			o.Brk.Add(metrics.OSCpi, cpi)
+			o.Obs.Span(ce.Global(), "pgflt(conc)", obs.CatOS, start, ce.Now(), int64(p))
 		} else {
 			o.seqFaults++
 			o.Brk.Add(metrics.OSPgFltSeq, service)
+			o.Obs.Span(ce.Global(), "pgflt(seq)", obs.CatOS, start, ce.Now(), int64(p))
 		}
 		fs.done.Broadcast()
 		return ce.Now() - start

@@ -35,6 +35,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,10 @@ type OS struct {
 	M    *cluster.Machine
 	Cost arch.CostModel
 	Brk  *metrics.OSBreakdown
+	// Obs, when non-nil, receives OS-activity spans: system call and
+	// critical-section service windows, kernel-lock spin, interrupt
+	// delivery, and page fault handling.
+	Obs *obs.Recorder
 
 	globalLock   *sim.Resource
 	clusterLocks []*sim.Resource
@@ -155,6 +160,8 @@ func (o *OS) Poll(ce *cluster.CE) sim.Duration {
 	if len(o.pending[g]) == 0 {
 		return 0
 	}
+	start := ce.Now()
+	delivered := int64(len(o.pending[g]))
 	var total sim.Duration
 	for _, pc := range o.pending[g] {
 		ce.Spend(pc.cost, pc.cat)
@@ -162,6 +169,7 @@ func (o *OS) Poll(ce *cluster.CE) sim.Duration {
 		total += pc.cost
 	}
 	o.pending[g] = o.pending[g][:0]
+	o.Obs.Span(g, "interrupt-delivery", obs.CatOS, start, ce.Now(), delivered)
 	return total
 }
 
@@ -211,12 +219,15 @@ func (o *OS) lockedService(ce *cluster.CE, lock *sim.Resource, cost sim.Duration
 	waited := lock.Acquire(ce.Proc)
 	if waited > 0 {
 		ce.Charge(waited, metrics.CatOSSpin) // kernel lock spin (Figure 3)
+		o.Obs.Span(ce.Global(), "kl-spin", obs.CatOS, ce.Now()-waited, ce.Now(), 0)
 	}
 	// Release via defer: a CE that fail-stops inside the kernel must
 	// not take the lock down with it.
 	defer lock.Release()
+	start := ce.Now()
 	ce.Spend(cost, metrics.CatOSSystem)
 	o.Brk.Add(cat, cost)
+	o.Obs.Span(ce.Global(), cat.String(), obs.CatOS, start, ce.Now(), 0)
 }
 
 // LockStall models a kernel-lock holder stall: a rogue kernel thread
