@@ -358,6 +358,21 @@ func Sweep(app perfect.App, opts Options) *core.Sweep {
 	return s
 }
 
+// SweepConfigs runs the app across an arbitrary list of configurations
+// (e.g. arch.ScaledConfigs(), or paper plus scaled machines for a
+// scaling study), keyed by CE count like Sweep. When the list includes
+// a 1-processor configuration and the app has a published CT1 the same
+// paper normalization applies; otherwise seconds are raw model output
+// (Scale 1).
+func SweepConfigs(app perfect.App, cfgs []arch.Config, opts Options) *core.Sweep {
+	s := &core.Sweep{App: app.Name, Results: map[int]*core.Result{}}
+	for _, cfg := range cfgs {
+		s.Results[cfg.CEs()] = Simulate(app, cfg, opts)
+	}
+	normalize(s)
+	return s
+}
+
 // normalize sets every result's Scale so that the sweep's 1-processor
 // CT in seconds equals the paper's published CT1.
 func normalize(s *core.Sweep) {

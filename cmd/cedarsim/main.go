@@ -8,8 +8,17 @@
 // Usage:
 //
 //	cedarsim [-app FLO52] [-ces 32] [-steps N] [-flat] [-no-baseline]
+//	         [-config 64proc] [-clusters N -ces-per-cluster N
+//	          -gm-modules N -stages N -degree N] [-list-configs]
 //	         [-fault ce:2@1e6,module:17@5e5]
 //	         [-trace out.json] [-profile out.folded] [-series out.csv|out.prom]
+//
+// The machine defaults to the paper configuration selected by -ces
+// (1, 4, 8, 16, or 32 — the closed list the paper measures). -config
+// selects any named family member (see -list-configs), and the
+// parametric flags build a custom machine validated by
+// arch.Config.Validate, whose error names the violated topology
+// constraint.
 //
 // With -fault, the run is repeated healthy and degraded and a
 // baseline-vs-degraded overhead-decomposition delta table is printed.
@@ -55,6 +64,22 @@ func supportedCEs() string {
 	return strings.Join(parts, ", ")
 }
 
+// printConfigs lists every named member of the machine family with its
+// topology (the -list-configs output).
+func printConfigs() {
+	fmt.Printf("%-10s %5s %9s %5s %8s %7s %7s\n",
+		"name", "CEs", "clusters", "CE/cl", "GM mods", "stages", "degree")
+	for _, c := range arch.Families() {
+		note := ""
+		if c.Unclustered {
+			note = "  (unclustered)"
+		}
+		fmt.Printf("%-10s %5d %9d %5d %8d %7d %7d%s\n",
+			c.Name, c.CEs(), c.Clusters, c.CEsPerCluster,
+			c.GMModules, c.NetStages, c.SwitchDegree, note)
+	}
+}
+
 // usageErr prints the message plus flag usage and exits with status 2
 // (bad invocation).
 func usageErr(format string, args ...any) {
@@ -66,6 +91,13 @@ func usageErr(format string, args ...any) {
 func main() {
 	appName := flag.String("app", "FLO52", "application: FLO52, ARC2D, MDG, OCEAN, ADM")
 	ces := flag.Int("ces", 32, "processor count: 1, 4, 8, 16, or 32")
+	configName := flag.String("config", "", "named machine family member (see -list-configs)")
+	clusters := flag.Int("clusters", 0, "custom machine: cluster count")
+	cesPer := flag.Int("ces-per-cluster", 0, "custom machine: CEs per cluster")
+	gmModules := flag.Int("gm-modules", 0, "custom machine: global memory modules (default 32)")
+	stages := flag.Int("stages", 0, "custom machine: network stages (default 2)")
+	degree := flag.Int("degree", 0, "custom machine: crossbar switch degree (default 8)")
+	listConfigs := flag.Bool("list-configs", false, "print all named machine configurations and exit")
 	steps := flag.Int("steps", 0, "override timestep count (0 = app default)")
 	flat := flag.Bool("flat", false, "run the unclustered 32-processor machine (Section 6 discussion)")
 	noBase := flag.Bool("no-baseline", false, "skip the 1-processor baseline (no contention estimate)")
@@ -77,6 +109,10 @@ func main() {
 	seriesPath := flag.String("series", "", "write the sampled time series (CSV, or Prometheus text if *.prom)")
 	flag.Parse()
 
+	if *listConfigs {
+		printConfigs()
+		return
+	}
 	if *steps < 0 {
 		usageErr("-steps %d is negative", *steps)
 	}
@@ -106,10 +142,51 @@ func main() {
 		os.Exit(2)
 	}
 
+	custom := *clusters != 0 || *cesPer != 0 || *gmModules != 0 || *stages != 0 || *degree != 0
 	var cfg arch.Config
-	if *flat {
+	switch {
+	case custom:
+		// A custom parametric machine: unset dimensions keep Cedar's
+		// values, and arch.Config.Validate names any violated topology
+		// constraint.
+		if *configName != "" {
+			usageErr("-config %s conflicts with the parametric machine flags", *configName)
+		}
+		if *flat {
+			usageErr("-flat conflicts with the parametric machine flags")
+		}
+		cfg = arch.Cedar32
+		if *clusters > 0 {
+			cfg.Clusters = *clusters
+		}
+		if *cesPer > 0 {
+			cfg.CEsPerCluster = *cesPer
+		}
+		if *gmModules > 0 {
+			cfg.GMModules = *gmModules
+		}
+		if *stages > 0 {
+			cfg.NetStages = *stages
+		}
+		if *degree > 0 {
+			cfg.SwitchDegree = *degree
+		}
+		cfg.Name = fmt.Sprintf("custom-%dx%d", cfg.Clusters, cfg.CEsPerCluster)
+		if err := cfg.Validate(); err != nil {
+			usageErr("%v", err)
+		}
+	case *configName != "":
+		if *flat {
+			usageErr("-flat conflicts with -config")
+		}
+		var ok bool
+		cfg, ok = arch.FamilyByName(*configName)
+		if !ok {
+			usageErr("unknown configuration %q (see -list-configs)", *configName)
+		}
+	case *flat:
 		cfg = arch.Unclustered32
-	} else {
+	default:
 		found := false
 		for _, c := range arch.PaperConfigs() {
 			if c.CEs() == *ces {
@@ -118,7 +195,7 @@ func main() {
 			}
 		}
 		if !found {
-			usageErr("no configuration with %d CEs (supported: %s)", *ces, supportedCEs())
+			usageErr("no paper configuration with %d CEs (supported: %s; use -config or the parametric flags for scaled machines)", *ces, supportedCEs())
 		}
 	}
 

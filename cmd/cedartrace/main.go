@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	cedartrace [-app FLO52] [-ces 16] [-steps 1] [-max 200]
-//	           [-summary [-json]] [-hw] [-obs]
+//	cedartrace [-app FLO52] [-ces 16] [-config 64proc] [-list-configs]
+//	           [-steps 1] [-max 200] [-summary [-json]] [-hw] [-obs]
+//
+// -ces selects among the paper's closed configuration list; -config
+// selects any named family member, including the scaled machines
+// (-list-configs prints them all).
 //
 // -summary prints per-event counts and pair durations; with -json the
 // same summary is emitted as a JSON object for scripting. -hw prints
@@ -48,6 +52,8 @@ func supportedCEs() string {
 func main() {
 	appName := flag.String("app", "FLO52", "application name")
 	ces := flag.Int("ces", 16, "processor count: 1, 4, 8, 16, or 32")
+	configName := flag.String("config", "", "named machine family member (see -list-configs)")
+	listConfigs := flag.Bool("list-configs", false, "print all named machine configurations and exit")
 	steps := flag.Int("steps", 1, "timesteps to run (trace volume grows fast)")
 	max := flag.Int("max", 200, "maximum trace records to print")
 	summary := flag.Bool("summary", false, "print per-event counts and pair durations only")
@@ -56,6 +62,14 @@ func main() {
 	obsMode := flag.Bool("obs", false, "arm the obs recorder and print a span/series digest")
 	flag.Parse()
 
+	if *listConfigs {
+		for _, c := range arch.Families() {
+			fmt.Printf("%-10s %3d CEs  %2d clusters x %2d  GM %3d  %d-stage degree-%d\n",
+				c.Name, c.CEs(), c.Clusters, c.CEsPerCluster,
+				c.GMModules, c.NetStages, c.SwitchDegree)
+		}
+		return
+	}
 	if *jsonOut && !*summary {
 		fmt.Fprintln(os.Stderr, "cedartrace: -json requires -summary")
 		os.Exit(2)
@@ -68,19 +82,28 @@ func main() {
 	}
 	// Exact-match the configuration: a -ces value that matches no paper
 	// configuration must not fall through to the zero arch.Config
-	// (an empty machine would "run" and report nonsense).
+	// (an empty machine would "run" and report nonsense). -config opens
+	// the full named family, scaled machines included.
 	var cfg arch.Config
 	found := false
-	for _, c := range arch.PaperConfigs() {
-		if c.CEs() == *ces {
-			cfg, found = c, true
-			break
+	if *configName != "" {
+		cfg, found = arch.FamilyByName(*configName)
+		if !found {
+			fmt.Fprintf(os.Stderr, "cedartrace: unknown configuration %q (use -list-configs)\n", *configName)
+			os.Exit(2)
 		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "cedartrace: no configuration with %d CEs (supported: %s)\n",
-			*ces, supportedCEs())
-		os.Exit(2)
+	} else {
+		for _, c := range arch.PaperConfigs() {
+			if c.CEs() == *ces {
+				cfg, found = c, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "cedartrace: no paper configuration with %d CEs (supported: %s; -config opens the scaled machines)\n",
+				*ces, supportedCEs())
+			os.Exit(2)
+		}
 	}
 
 	opts := cedar.Options{

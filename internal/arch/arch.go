@@ -1,7 +1,16 @@
-// Package arch describes the Cedar machine: its topology (clusters of
-// computational elements behind a two-stage shuffle-exchange network
-// and an interleaved global memory) and the unit-cost model used by
-// the hardware, OS, and runtime simulations.
+// Package arch describes a family of Cedar-like machines: clusters of
+// computational elements behind a k-stage shuffle-exchange network and
+// an interleaved global memory, plus the unit-cost model used by the
+// hardware, OS, and runtime simulations.
+//
+// The machine description is fully parametric: any cluster count, CEs
+// per cluster, global-memory module count, switch degree, and network
+// stage count that the multistage router can realize is a valid
+// Config. The five configurations the paper measures (1–32 CEs behind
+// a two-stage network of 8x8 crossbars) are named members of the
+// family, alongside scaled machines the paper could not build
+// (Scaled64, Scaled128, Scaled256, Deep64) for capacity-planning
+// studies with the same overhead decomposition.
 //
 // All times are in cycles of the CE clock. The clock is fixed at
 // 20 MHz so that one cycle equals 50 ns — the timestamp resolution of
@@ -10,7 +19,10 @@
 // measurements.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // CycleNS is the duration of one CE clock cycle in nanoseconds.
 const CycleNS = 50
@@ -18,24 +30,26 @@ const CycleNS = 50
 // CyclesPerSecond is the CE clock rate.
 const CyclesPerSecond = 1e9 / CycleNS
 
-// Config describes a Cedar hardware configuration.
+// Config describes one member of the Cedar machine family.
 type Config struct {
 	// Name is a short label such as "32proc".
 	Name string
-	// Clusters is the number of Alliant FX/8 clusters (1, 2, or 4 on
-	// the real machine).
+	// Clusters is the number of Alliant FX/8-style clusters (1, 2, or
+	// 4 on the real machine; scaled families go beyond).
 	Clusters int
 	// CEsPerCluster is the number of computational elements per
 	// cluster (8 on the real machine; smaller values model the 1- and
 	// 4-processor configurations, which use a single cluster).
 	CEsPerCluster int
 	// GMModules is the number of independent global memory modules
-	// (32, double-word interleaved and aligned).
+	// (32 on Cedar, double-word interleaved and aligned). It is also
+	// the port width of each network stage.
 	GMModules int
-	// NetStages is the number of network stages (2), each built from
-	// 8x8 crossbar switches.
+	// NetStages is the number of network stages (2 on Cedar), each
+	// built from SwitchDegree-way crossbar switches.
 	NetStages int
-	// SwitchDegree is the fan-in/out of each crossbar switch (8).
+	// SwitchDegree is the fan-in/out of each crossbar switch (8 on
+	// Cedar).
 	SwitchDegree int
 	// Unclustered, when true, removes the cluster hierarchy for
 	// runtime purposes: every CE is treated as an independent
@@ -48,23 +62,80 @@ type Config struct {
 // CEs returns the total number of computational elements.
 func (c Config) CEs() int { return c.Clusters * c.CEsPerCluster }
 
-// Validate reports whether the configuration is self-consistent.
+// NetWidth returns the port count of each network stage (one port per
+// global memory module; the CE-side wiring shares the same width).
+func (c Config) NetWidth() int { return c.GMModules }
+
+// GroupSpan returns how many consecutive modules share a top-level
+// network group: the subtree of modules reached through one stage-0
+// output port, SwitchDegree^(NetStages-1) capped at the module count.
+// Vector accesses fan out across groups (one stage-0 burst per group),
+// which is how the shuffle-exchange network carries interleaved
+// vectors.
+func (c Config) GroupSpan() int {
+	span := ipow(c.SwitchDegree, c.NetStages-1)
+	if span > c.GMModules {
+		span = c.GMModules
+	}
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// Groups returns the number of top-level network groups.
+func (c Config) Groups() int {
+	span := c.GroupSpan()
+	return (c.GMModules + span - 1) / span
+}
+
+// ipow returns d^k for small non-negative k, saturating at a large
+// value to keep Validate's comparisons safe from overflow.
+func ipow(d, k int) int {
+	p := 1
+	for i := 0; i < k; i++ {
+		if p > 1<<30 {
+			return 1 << 30
+		}
+		p *= d
+	}
+	return p
+}
+
+// Validate reports whether the configuration is self-consistent and
+// whether the k-stage shuffle-exchange router can realize it. Each
+// violated constraint is named in the error.
 func (c Config) Validate() error {
 	switch {
 	case c.Clusters < 1:
 		return fmt.Errorf("arch: %s: clusters %d < 1", c.Name, c.Clusters)
 	case c.CEsPerCluster < 1:
 		return fmt.Errorf("arch: %s: CEs/cluster %d < 1", c.Name, c.CEsPerCluster)
-	case c.CEsPerCluster > 8:
-		return fmt.Errorf("arch: %s: CEs/cluster %d > 8 (FX/8 limit)", c.Name, c.CEsPerCluster)
-	case c.Clusters > 4:
-		return fmt.Errorf("arch: %s: clusters %d > 4 (Cedar limit)", c.Name, c.Clusters)
 	case c.GMModules < 1 || c.GMModules&(c.GMModules-1) != 0:
 		return fmt.Errorf("arch: %s: GM modules %d not a power of two", c.Name, c.GMModules)
 	case c.NetStages < 1:
 		return fmt.Errorf("arch: %s: net stages %d < 1", c.Name, c.NetStages)
-	case c.SwitchDegree < 2:
-		return fmt.Errorf("arch: %s: switch degree %d < 2", c.Name, c.SwitchDegree)
+	case c.SwitchDegree < 2 || c.SwitchDegree&(c.SwitchDegree-1) != 0:
+		return fmt.Errorf("arch: %s: switch degree %d not a power of two >= 2", c.Name, c.SwitchDegree)
+	// The router's realizability constraints. Routes address the
+	// destination module digit by digit in base SwitchDegree, so a
+	// k-stage network reaches at most SwitchDegree^k modules; the
+	// CE-side wiring (stage-0 input switches, one per cluster, and the
+	// per-CE return links cluster*degree+local) must fit the stage
+	// width; and the return network selects the destination cluster
+	// with a single output digit.
+	case c.GMModules > ipow(c.SwitchDegree, c.NetStages):
+		return fmt.Errorf("arch: %s: %d-stage degree-%d network addresses at most %d modules, config has %d (raise -stages or -degree)",
+			c.Name, c.NetStages, c.SwitchDegree, ipow(c.SwitchDegree, c.NetStages), c.GMModules)
+	case c.Clusters*c.SwitchDegree > c.GMModules:
+		return fmt.Errorf("arch: %s: CE-side ports (clusters x degree = %d) exceed network width (%d GM modules)",
+			c.Name, c.Clusters*c.SwitchDegree, c.GMModules)
+	case c.Clusters > c.SwitchDegree:
+		return fmt.Errorf("arch: %s: clusters %d > switch degree %d (return network selects the cluster with one output digit)",
+			c.Name, c.Clusters, c.SwitchDegree)
+	case c.CEsPerCluster > c.SwitchDegree:
+		return fmt.Errorf("arch: %s: CEs/cluster %d > switch degree %d (per-CE return links overflow the cluster's switch)",
+			c.Name, c.CEsPerCluster, c.SwitchDegree)
 	}
 	return nil
 }
@@ -124,6 +195,70 @@ var Unclustered32 = func() Config {
 	c.Unclustered = true
 	return c
 }()
+
+// The scaled families: machines the paper could not build, opened up
+// by the parametric topology layer so the Section-7 decomposition can
+// be run as a capacity-planning tool. Memory modules and switch degree
+// grow with the CE count so the CE-side wiring keeps fitting the
+// network width; the paper-calibrated unit costs (module cycles, OS
+// service times) are held fixed — see EXPERIMENTS.md, "Scaling study".
+var (
+	// Scaled64 doubles Cedar: 8 clusters of 8 CEs behind a two-stage
+	// network of 8x8 switches and 64 memory modules.
+	Scaled64 = Config{Name: "64proc", Clusters: 8, CEsPerCluster: 8,
+		GMModules: 64, NetStages: 2, SwitchDegree: 8}
+	// Scaled128 widens the switches to 16x16: 8 clusters of 16 CEs,
+	// 128 modules.
+	Scaled128 = Config{Name: "128proc", Clusters: 8, CEsPerCluster: 16,
+		GMModules: 128, NetStages: 2, SwitchDegree: 16}
+	// Scaled256 is the largest two-stage member 16x16 switches admit:
+	// 16 clusters of 16 CEs, 256 modules.
+	Scaled256 = Config{Name: "256proc", Clusters: 16, CEsPerCluster: 16,
+		GMModules: 256, NetStages: 2, SwitchDegree: 16}
+	// Deep64 trades stage count for switch width: the same 64 CEs as
+	// Scaled64 but behind a three-stage network of 8x8 switches and
+	// 512 modules — the configuration that exercises k > 2 routing.
+	Deep64 = Config{Name: "64deep", Clusters: 8, CEsPerCluster: 8,
+		GMModules: 512, NetStages: 3, SwitchDegree: 8}
+)
+
+// ScaledConfigs lists the scaled families in ascending CE order.
+func ScaledConfigs() []Config {
+	return []Config{Scaled64, Deep64, Scaled128, Scaled256}
+}
+
+// Families returns every named configuration: the five paper
+// machines, the unclustered Section-6 machine, and the scaled
+// families.
+func Families() []Config {
+	out := PaperConfigs()
+	out = append(out, Unclustered32)
+	out = append(out, ScaledConfigs()...)
+	return out
+}
+
+// FamilyByName returns the named configuration, matching Config.Name
+// case-insensitively and also accepting the Go identifier (e.g.
+// "Scaled64", "Cedar32").
+func FamilyByName(name string) (Config, bool) {
+	alias := map[string]Config{
+		"cedar1": Cedar1, "cedar4": Cedar4, "cedar8": Cedar8,
+		"cedar16": Cedar16, "cedar32": Cedar32,
+		"unclustered32": Unclustered32,
+		"scaled64":      Scaled64, "scaled128": Scaled128, "scaled256": Scaled256,
+		"deep64": Deep64,
+	}
+	lower := strings.ToLower(name)
+	if c, ok := alias[lower]; ok {
+		return c, true
+	}
+	for _, c := range Families() {
+		if strings.ToLower(c.Name) == lower {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
 
 // Seconds converts a cycle count to seconds of machine time.
 func Seconds(cycles int64) float64 { return float64(cycles) / CyclesPerSecond }

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -105,6 +106,98 @@ func TestUnclustered32(t *testing.T) {
 	}
 	if err := Unclustered32.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFamiliesAllValid(t *testing.T) {
+	want := map[string]int{
+		"1proc": 1, "4proc": 4, "8proc": 8, "16proc": 16, "32proc": 32,
+		"32flat": 32, "64proc": 64, "64deep": 64, "128proc": 128, "256proc": 256,
+	}
+	fams := Families()
+	if len(fams) != len(want) {
+		t.Fatalf("got %d families, want %d", len(fams), len(want))
+	}
+	for _, c := range fams {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if ces, ok := want[c.Name]; !ok || c.CEs() != ces {
+			t.Errorf("%s: CEs = %d, want %d", c.Name, c.CEs(), ces)
+		}
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Config
+	}{
+		{"32proc", Cedar32},
+		{"Cedar32", Cedar32},
+		{"scaled64", Scaled64},
+		{"64proc", Scaled64},
+		{"SCALED128", Scaled128},
+		{"deep64", Deep64},
+		{"32flat", Unclustered32},
+	} {
+		got, ok := FamilyByName(tc.name)
+		if !ok || got != tc.want {
+			t.Errorf("FamilyByName(%q) = %+v, %v; want %s", tc.name, got, ok, tc.want.Name)
+		}
+	}
+	if _, ok := FamilyByName("1024proc"); ok {
+		t.Error("FamilyByName accepted an unknown name")
+	}
+}
+
+func TestGroupStructure(t *testing.T) {
+	// Two-stage machines: one group per stage-1 switch (degree modules).
+	if s := Cedar32.GroupSpan(); s != 8 {
+		t.Errorf("Cedar32 group span = %d, want 8", s)
+	}
+	if g := Cedar32.Groups(); g != 4 {
+		t.Errorf("Cedar32 groups = %d, want 4", g)
+	}
+	// Three-stage Deep64: a top-level group spans degree^2 modules.
+	if s := Deep64.GroupSpan(); s != 64 {
+		t.Errorf("Deep64 group span = %d, want 64", s)
+	}
+	if g := Deep64.Groups(); g != 8 {
+		t.Errorf("Deep64 groups = %d, want 8", g)
+	}
+	for _, c := range Families() {
+		if c.GroupSpan()*c.Groups() < c.GMModules {
+			t.Errorf("%s: groups %d x span %d do not cover %d modules",
+				c.Name, c.Groups(), c.GroupSpan(), c.GMModules)
+		}
+	}
+}
+
+func TestValidateNamesScalingConstraints(t *testing.T) {
+	// Each violated topology constraint must be identified in the error
+	// (the CLI surfaces these verbatim).
+	for _, tc := range []struct {
+		cfg  Config
+		frag string
+	}{
+		{Config{Name: "x", Clusters: 1, CEsPerCluster: 1, GMModules: 512, NetStages: 2, SwitchDegree: 8},
+			"addresses at most"},
+		{Config{Name: "x", Clusters: 8, CEsPerCluster: 8, GMModules: 32, NetStages: 2, SwitchDegree: 8},
+			"exceed network width"},
+		{Config{Name: "x", Clusters: 4, CEsPerCluster: 2, GMModules: 8, NetStages: 3, SwitchDegree: 2},
+			"selects the cluster"},
+		{Config{Name: "x", Clusters: 1, CEsPerCluster: 9, GMModules: 32, NetStages: 2, SwitchDegree: 8},
+			"return links overflow"},
+	} {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%+v: Validate accepted unrealizable config", tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%+v: error %q does not name the constraint (want %q)", tc.cfg, err, tc.frag)
+		}
 	}
 }
 

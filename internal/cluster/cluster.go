@@ -1,8 +1,10 @@
-// Package cluster assembles the Cedar hardware: a Machine of one to
-// four Alliant FX/8 clusters, each with up to eight computational
-// elements (CEs), a shared data cache, and a concurrency-control bus,
-// all connected through the shuffle-exchange networks to the
-// interleaved global memory (packages network and gmem).
+// Package cluster assembles the machine family's hardware: a Machine
+// of Alliant FX/8-style clusters — as many as the configuration names,
+// one to four on the paper's Cedar — each with its configured number
+// of computational elements (CEs), a shared data cache, and a
+// concurrency-control bus, all connected through the shuffle-exchange
+// networks to the interleaved global memory (packages network and
+// gmem). Every size here derives from the arch.Config.
 //
 // A CE couples a simulation process with a time account: every cycle a
 // CE spends is charged to a metrics.Category, which is what the

@@ -1,9 +1,11 @@
-// Package gmem models Cedar's shared global memory: 32 independent
-// modules, double-word (8-byte) interleaved and aligned, each taking 4
-// processor clock cycles to process a request (Sections 2 and 7 of the
-// paper). Requests reach the modules through the forward
-// shuffle-exchange network and replies return through the separate
-// return network (package network).
+// Package gmem models the family's shared global memory: GMModules
+// independent modules (32 on the paper's Cedar), double-word (8-byte)
+// interleaved and aligned, each taking 4 processor clock cycles to
+// process a request (Sections 2 and 7 of the paper). Requests reach
+// the modules through the forward shuffle-exchange network and replies
+// return through the separate return network (package network); every
+// fan-out size below — module count, group structure, stage count —
+// derives from the arch.Config rather than Cedar constants.
 //
 // Addresses are in units of 8-byte words. A vector access of W words
 // with stride 1 spreads across min(W, modules) modules; module
@@ -166,8 +168,9 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 
 	// Distribute the stride-1 vector round-robin across the modules
 	// starting at the address's module, then group the touched modules
-	// by the stage-1 switch that owns them: each group's slice of the
-	// vector is an independent burst through its own ports.
+	// by the top-level network group (the subtree behind one stage-0
+	// output port) that owns them: each group's slice of the vector is
+	// an independent burst through its own ports.
 	firstModule := m.Module(addr)
 	touched := words
 	if touched > m.cfg.GMModules {
@@ -175,21 +178,21 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 	}
 	perModule := words / touched
 	extra := words % touched
-	d := m.cfg.SwitchDegree
-	nSwitches := (m.cfg.GMModules + d - 1) / d
+	groupSpan := m.cfg.GroupSpan()
+	nGroups := m.cfg.Groups()
 
 	inject := at + sim.Duration(m.cost.GIFLatency)
 	var qNet, qMod sim.Duration
 	var lastReady sim.Time
 
-	for g := 0; g < nSwitches; g++ {
+	for g := 0; g < nGroups; g++ {
 		// Words of this access served by group g's modules. Slices
 		// whose home module is offline travel to (and group with) the
 		// fallback module instead.
 		groupWords := 0
 		for i := 0; i < touched; i++ {
 			mod := m.effModule((firstModule + i) % m.cfg.GMModules)
-			if mod/d != g {
+			if mod/groupSpan != g {
 				continue
 			}
 			w := perModule
@@ -201,15 +204,15 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 		if groupWords == 0 {
 			continue
 		}
-		// Forward stage 0: the cluster's port toward group g's switch.
+		// Forward stage 0: the cluster's port toward group g's subtree.
 		a0, q0 := m.net.Forward.Port(0, m.net.FwdStage0Port(ce, g), inject, groupWords)
 		qNet += q0
-		// Forward stage 1 and the modules themselves, per module.
+		// Forward stages 1..k-1 and the modules themselves, per module.
 		var groupReady sim.Time
 		for i := 0; i < touched; i++ {
 			home := (firstModule + i) % m.cfg.GMModules
 			mod := m.effModule(home)
-			if mod/d != g {
+			if mod/groupSpan != g {
 				continue
 			}
 			w := perModule
@@ -219,26 +222,35 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 			if mod != home {
 				m.remapped++
 			}
-			a1, q1 := m.net.Forward.Port(1, m.net.FwdStage1Port(mod), a0, w)
-			qNet += q1
+			aIn := a0
+			for si, port := range m.net.FwdModulePorts(mod) {
+				aNext, q := m.net.Forward.Port(1+si, port, aIn, w)
+				qNet += q
+				aIn = aNext
+			}
 			busy := m.moduleBusy(mod, w, mod != home)
-			start, end := m.modules[mod].Reserve(a1, busy)
-			qMod += start - a1
+			start, end := m.modules[mod].Reserve(aIn, busy)
+			qMod += start - aIn
 			if end > groupReady {
 				groupReady = end
 			}
 		}
-		// Return stage 0: the group's switch back toward the cluster.
-		r0, qr0 := m.net.Return.Port(0, m.net.RetStage0Port(g*d, ce), groupReady, groupWords)
-		qNet += qr0
-		if r0 > lastReady {
-			lastReady = r0
+		// Return stages 0..k-2: the group's switch back toward the
+		// cluster, then the cluster's subtree.
+		rIn := groupReady
+		for si, port := range m.net.RetGroupPorts(g, ce) {
+			rNext, q := m.net.Return.Port(si, port, rIn, groupWords)
+			qNet += q
+			rIn = rNext
+		}
+		if rIn > lastReady {
+			lastReady = rIn
 		}
 	}
 
-	// Return stage 1: every reply word funnels through the CE's own
+	// Final return stage: every reply word funnels through the CE's own
 	// data link.
-	back, qr1 := m.net.Return.Port(1, m.net.RetStage1Port(ce), lastReady, words)
+	back, qr1 := m.net.Return.Port(m.cfg.NetStages-1, m.net.RetCEPort(ce), lastReady, words)
 	qNet += qr1
 	done = back + sim.Duration(m.cost.GIFLatency)
 
@@ -286,18 +298,22 @@ func (m *Memory) IdealLatency(words int) sim.Duration {
 		touched = m.cfg.GMModules
 	}
 	perModule := (words + touched - 1) / touched
-	d := m.cfg.SwitchDegree
-	groups := (touched + d - 1) / d
+	groupSpan := m.cfg.GroupSpan()
+	groups := (touched + groupSpan - 1) / groupSpan
 	perGroup := (words + groups - 1) / groups
+	inner := int64(m.cfg.NetStages - 1) // stages inside the subtrees
 	// Mirror Access with zero queueing: stage-0 burst of the group
-	// slice, stage-1 burst of the module slice, module occupancy,
-	// return group burst, then the full vector through the CE's link;
-	// one stage latency per stage per direction.
+	// slice, the module slice through each subtree stage, module
+	// occupancy, the group burst back through each return stage, then
+	// the full vector through the CE's link; one stage latency per
+	// stage per direction. For the two-stage Cedar network this is the
+	// seed's 2*perGroup + perModule + words port-cycle formula.
 	lat := 2*sim.Duration(m.cost.GIFLatency) +
 		sim.Duration(2*int64(m.cfg.NetStages)*m.cost.StageLatency) +
-		sim.Duration(2*int64(perGroup)*m.cost.PortCyclesPerWord) + // fwd+ret stage-0
-		sim.Duration(int64(perModule)*m.cost.PortCyclesPerWord) + // fwd stage-1
+		sim.Duration(int64(perGroup)*m.cost.PortCyclesPerWord) + // fwd stage-0
+		sim.Duration(inner*int64(perModule)*m.cost.PortCyclesPerWord) + // fwd stages 1..k-1
 		sim.Duration(m.cost.ModuleLatency+int64(perModule)*m.cost.ModuleCyclesPerWord) +
+		sim.Duration(inner*int64(perGroup)*m.cost.PortCyclesPerWord) + // ret stages 0..k-2
 		sim.Duration(int64(words)*m.cost.PortCyclesPerWord) // CE return link
 	return lat
 }

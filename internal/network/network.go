@@ -1,8 +1,21 @@
-// Package network models Cedar's interconnection network: a two-stage
-// shuffle-exchange network built from 8x8 crossbar switches, with one
-// network for the forward path (CEs to global memory) and a separate
-// one for the return path (global memory to CEs), exactly as Section 2
-// of the paper describes.
+// Package network models the interconnection network of the Cedar
+// machine family: a k-stage shuffle-exchange network built from
+// degree-d crossbar switches, with one network for the forward path
+// (CEs to global memory) and a separate one for the return path
+// (global memory to CEs). On the paper's Cedar, k = 2 and d = 8,
+// exactly as Section 2 describes; scaled family members widen the
+// switches or add stages.
+//
+// Routes are derived from the configuration instead of hard-coded:
+// a forward message selects its stage-0 output by the destination
+// module's most significant base-d digit and then funnels through the
+// destination's subtree, one digit per stage (delta-network
+// self-routing), so paths toward one module converge stage by stage —
+// the tree-saturation structure hot-spot studies describe. The return
+// network mirrors this toward the CE's cluster and private data link.
+// arch.Config.Validate rejects configurations these routes cannot
+// realize (too many modules for the stage count, CE-side wiring wider
+// than the stages).
 //
 // Each crossbar output port is a pipelined bandwidth resource
 // (sim.Calendar). A message of W words occupies a port for
@@ -60,12 +73,11 @@ func (n *Net) portBusy(stage, port, words int) sim.Duration {
 func newNet(cfg arch.Config, cost arch.CostModel, dir string) *Net {
 	n := &Net{cfg: cfg, cost: cost}
 	n.ports = make([][]*sim.Calendar, cfg.NetStages)
-	// Endpoint count on the memory side is GMModules; on the CE side
-	// the wiring supports the full machine (4 clusters x 8 CEs = 32)
-	// regardless of how many CEs the configuration populates —
-	// "the different Cedar configurations ... use the same
-	// interconnection network and memory".
-	width := cfg.GMModules
+	// Every stage is GMModules ports wide; on the CE side the wiring
+	// supports the full machine regardless of how many CEs the
+	// configuration populates — "the different Cedar configurations
+	// ... use the same interconnection network and memory".
+	width := cfg.NetWidth()
 	for s := 0; s < cfg.NetStages; s++ {
 		n.ports[s] = make([]*sim.Calendar, width)
 		for i := 0; i < width; i++ {
@@ -89,29 +101,58 @@ func NewPair(cfg arch.Config, cost arch.CostModel) *Pair {
 	}
 }
 
-// fwdRoute returns the output-port indices a message from the given CE
-// to the given module traverses, one per stage.
-//
-// Stage 0: the CE's cluster feeds switch `cluster`; the output port
-// selects the stage-1 switch that owns the module (module/degree).
-// Stage 1: switch module/degree; the output port is the module itself.
-func (n *Net) fwdRoute(ce arch.CEID, module int) [2]int {
-	d := n.cfg.SwitchDegree
-	s1Switch := module / d
-	return [2]int{
-		ce.Cluster*d + s1Switch, // stage-0 port: (input switch, output toward s1Switch)
-		module,                  // stage-1 port: toward the module
+// stageDiv returns SwitchDegree^(NetStages-1-stage): the divisor that
+// extracts the destination prefix routed through at the given stage.
+func stageDiv(cfg arch.Config, stage int) int {
+	div := 1
+	for i := 0; i < cfg.NetStages-1-stage; i++ {
+		div *= cfg.SwitchDegree
 	}
+	return div
 }
 
-// revRoute is the mirror route from a module back to a CE.
-func (n *Net) revRoute(module int, ce arch.CEID) [2]int {
+// fwdRoute returns the output-port indices a message from the given CE
+// to the given module traverses, one per stage (len == NetStages).
+//
+// Stage 0: the CE's cluster feeds input switch `cluster`; the output
+// port selects the module's top-level subtree (its most significant
+// base-d digit, module / d^(k-1)). Stage i >= 1: the message is inside
+// the module's subtree; the port index is the module's prefix through
+// that stage, module / d^(k-1-i) — paths toward one module converge
+// stage by stage. The final stage's port is the module itself. For the
+// paper's two-stage network this is exactly [cluster*d + module/d,
+// module].
+func (n *Net) fwdRoute(ce arch.CEID, module int) []int {
 	d := n.cfg.SwitchDegree
-	s1Switch := ce.Cluster // return stage-1 switch that owns the cluster
-	return [2]int{
-		(module/d)*d + s1Switch, // stage-0 port on the module-side switch toward the cluster's switch
-		ce.Cluster*d + ce.Local, // stage-1 port: toward the CE
+	route := make([]int, n.cfg.NetStages)
+	route[0] = ce.Cluster*d + module/stageDiv(n.cfg, 0)
+	for s := 1; s < n.cfg.NetStages; s++ {
+		route[s] = module / stageDiv(n.cfg, s)
 	}
+	return route
+}
+
+// revRoute is the mirror route from a module back to a CE: stage 0
+// leaves the module's top-level switch toward the destination cluster
+// (one output digit per cluster), intermediate stages funnel through
+// the cluster's subtree (prefixes of the CE's endpoint index
+// cluster*d + local), and the final stage's port is the CE's private
+// data link. For two stages this is exactly [(module/d)*d + cluster,
+// cluster*d + local].
+func (n *Net) revRoute(module int, ce arch.CEID) []int {
+	d := n.cfg.SwitchDegree
+	e := ce.Cluster*d + ce.Local // CE endpoint index on the return side
+	if n.cfg.NetStages == 1 {
+		// A single-crossbar return network: the only stage is the CE's
+		// own data link.
+		return []int{e}
+	}
+	route := make([]int, n.cfg.NetStages)
+	route[0] = (module/stageDiv(n.cfg, 0))*d + ce.Cluster
+	for s := 1; s < n.cfg.NetStages; s++ {
+		route[s] = e / stageDiv(n.cfg, s)
+	}
+	return route
 }
 
 // Transit carries a message of the given word count across the
@@ -128,14 +169,18 @@ func (p *Pair) TransitBack(at sim.Time, module int, ce arch.CEID, words int) (ar
 	return p.Return.transit(at, p.Return.revRoute(module, ce), words)
 }
 
-func (n *Net) transit(at sim.Time, route [2]int, words int) (sim.Time, sim.Duration) {
+func (n *Net) transit(at sim.Time, route []int, words int) (sim.Time, sim.Duration) {
 	if words < 1 {
 		words = 1
 	}
+	if len(route) != n.cfg.NetStages {
+		panic(fmt.Sprintf("network: route %v has %d stages, network has %d",
+			route, len(route), n.cfg.NetStages))
+	}
 	var queued sim.Duration
 	t := at
-	for s := 0; s < n.cfg.NetStages && s < len(route); s++ {
-		start, end := n.ports[s][route[s]].Reserve(t, n.portBusy(s, route[s], words))
+	for s, port := range route {
+		start, end := n.ports[s][port].Reserve(t, n.portBusy(s, port, words))
 		queued += start - t
 		// The head of the message moves on after the stage latency;
 		// the tail clears the port at end. The next stage can begin
@@ -162,25 +207,47 @@ func (n *Net) Port(stage, port int, at sim.Time, words int) (sim.Time, sim.Durat
 }
 
 // FwdStage0Port returns the forward stage-0 port index a message from
-// the CE's cluster takes toward stage-1 switch s1.
-func (p *Pair) FwdStage0Port(ce arch.CEID, s1 int) int {
-	return ce.Cluster*p.Forward.cfg.SwitchDegree + s1
+// the CE's cluster takes toward top-level group g (the subtree of
+// modules sharing the most significant destination digit).
+func (p *Pair) FwdStage0Port(ce arch.CEID, g int) int {
+	return ce.Cluster*p.Forward.cfg.SwitchDegree + g
 }
 
-// FwdStage1Port returns the forward stage-1 port index feeding the
-// module.
-func (p *Pair) FwdStage1Port(module int) int { return module }
-
-// RetStage0Port returns the return stage-0 port index from the
-// module's switch toward the CE's cluster.
-func (p *Pair) RetStage0Port(module int, ce arch.CEID) int {
-	d := p.Return.cfg.SwitchDegree
-	return (module/d)*d + ce.Cluster
+// FwdModulePorts returns the forward port indices a message traverses
+// inside the module's subtree — stages 1..k-1, ending at the module's
+// own port. For the two-stage Cedar network this is just [module].
+func (p *Pair) FwdModulePorts(module int) []int {
+	k := p.Forward.cfg.NetStages
+	ports := make([]int, 0, k-1)
+	for s := 1; s < k; s++ {
+		ports = append(ports, module/stageDiv(p.Forward.cfg, s))
+	}
+	return ports
 }
 
-// RetStage1Port returns the return stage-1 port index feeding the CE —
+// RetGroupPorts returns the return port indices a reply burst from
+// top-level group g traverses before the CE's private link — stages
+// 0..k-2, leaving the group's switch toward the CE's cluster and
+// funneling through the cluster's subtree. For the two-stage Cedar
+// network this is just [g*d + cluster].
+func (p *Pair) RetGroupPorts(g int, ce arch.CEID) []int {
+	cfg := p.Return.cfg
+	d := cfg.SwitchDegree
+	k := cfg.NetStages
+	ports := make([]int, 0, k-1)
+	if k >= 2 {
+		ports = append(ports, g*d+ce.Cluster)
+	}
+	e := ce.Cluster*d + ce.Local
+	for s := 1; s < k-1; s++ {
+		ports = append(ports, e/stageDiv(cfg, s))
+	}
+	return ports
+}
+
+// RetCEPort returns the final return-stage port index feeding the CE —
 // the CE's private data link, which every reply word funnels through.
-func (p *Pair) RetStage1Port(ce arch.CEID) int {
+func (p *Pair) RetCEPort(ce arch.CEID) int {
 	return ce.Cluster*p.Return.cfg.SwitchDegree + ce.Local
 }
 

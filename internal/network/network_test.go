@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -116,6 +117,168 @@ func TestHotSpotDetection(t *testing.T) {
 	st := p.Stats()
 	if st.DelayTotal < delay {
 		t.Fatalf("aggregate delay %d < max port delay %d", st.DelayTotal, delay)
+	}
+}
+
+// randomValidConfigs samples the parametric config space: every
+// combination drawn passes arch.Config.Validate, across switch
+// degrees, stage counts, module counts, and cluster shapes.
+func randomValidConfigs(rnd *rand.Rand, n int) []arch.Config {
+	degrees := []int{2, 4, 8, 16, 32}
+	gms := []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
+	var out []arch.Config
+	for len(out) < n {
+		c := arch.Config{
+			Name:          "random",
+			SwitchDegree:  degrees[rnd.Intn(len(degrees))],
+			NetStages:     1 + rnd.Intn(3),
+			GMModules:     gms[rnd.Intn(len(gms))],
+			Clusters:      1 + rnd.Intn(16),
+			CEsPerCluster: 1 + rnd.Intn(16),
+		}
+		if c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestRoutesInBoundsForRandomValidConfigs is the routing-invariant
+// property test: for every valid config the router can be handed, every
+// (CE, module) forward and return route has exactly NetStages hops and
+// every hop's port index is inside the stage width — Validate's
+// constraints are sufficient for the generalized route builder.
+func TestRoutesInBoundsForRandomValidConfigs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1994))
+	cost := arch.DefaultCosts()
+	for _, cfg := range randomValidConfigs(rnd, 60) {
+		p := NewPair(cfg, cost)
+		width := cfg.NetWidth()
+		check := func(kind string, route []int) {
+			t.Helper()
+			if len(route) != cfg.NetStages {
+				t.Fatalf("%+v: %s route %v has %d hops, want %d", cfg, kind, route, len(route), cfg.NetStages)
+			}
+			for s, port := range route {
+				if port < 0 || port >= width {
+					t.Fatalf("%+v: %s route %v stage %d port %d outside width %d", cfg, kind, route, s, port, width)
+				}
+			}
+		}
+		for g := 0; g < cfg.CEs(); g++ {
+			ce := cfg.CEByGlobal(g)
+			for m := 0; m < cfg.GMModules; m++ {
+				check("fwd", p.Forward.fwdRoute(ce, m))
+				check("rev", p.Return.revRoute(m, ce))
+			}
+			// The vector fan-out helpers obey the same bounds.
+			for grp := 0; grp < cfg.Groups(); grp++ {
+				if port := p.FwdStage0Port(ce, grp); port < 0 || port >= width {
+					t.Fatalf("%+v: FwdStage0Port(%v,%d) = %d outside width %d", cfg, ce, grp, port, width)
+				}
+				for _, port := range p.RetGroupPorts(grp, ce) {
+					if port < 0 || port >= width {
+						t.Fatalf("%+v: RetGroupPorts(%d,%v) port %d outside width %d", cfg, grp, ce, port, width)
+					}
+				}
+			}
+			if port := p.RetCEPort(ce); port < 0 || port >= width {
+				t.Fatalf("%+v: RetCEPort(%v) = %d outside width %d", cfg, ce, port, width)
+			}
+		}
+		for m := 0; m < cfg.GMModules; m++ {
+			for _, port := range p.FwdModulePorts(m) {
+				if port < 0 || port >= width {
+					t.Fatalf("%+v: FwdModulePorts(%d) port %d outside width %d", cfg, m, port, width)
+				}
+			}
+		}
+	}
+}
+
+// TestTwoStageRoutesMatchLegacyCedar is the seed-regression check: on
+// any two-stage member of the family the generalized route builder must
+// produce exactly the routes the original hard-coded Cedar
+// implementation used — [cluster*d + module/d, module] forward and
+// [(module/d)*d + cluster, cluster*d + local] back.
+func TestTwoStageRoutesMatchLegacyCedar(t *testing.T) {
+	cost := arch.DefaultCosts()
+	for _, cfg := range []arch.Config{arch.Cedar32, arch.Cedar4, arch.Scaled64, arch.Scaled256} {
+		p := NewPair(cfg, cost)
+		d := cfg.SwitchDegree
+		for g := 0; g < cfg.CEs(); g++ {
+			ce := cfg.CEByGlobal(g)
+			for m := 0; m < cfg.GMModules; m++ {
+				fwd := p.Forward.fwdRoute(ce, m)
+				if fwd[0] != ce.Cluster*d+m/d || fwd[1] != m {
+					t.Fatalf("%s: fwd route %v for %v->m%d, want [%d %d]",
+						cfg.Name, fwd, ce, m, ce.Cluster*d+m/d, m)
+				}
+				rev := p.Return.revRoute(m, ce)
+				if rev[0] != (m/d)*d+ce.Cluster || rev[1] != ce.Cluster*d+ce.Local {
+					t.Fatalf("%s: rev route %v for m%d->%v, want [%d %d]",
+						cfg.Name, rev, m, ce, (m/d)*d+ce.Cluster, ce.Cluster*d+ce.Local)
+				}
+			}
+		}
+	}
+}
+
+// TestThreeStageRoutesConverge exercises k > 2: on Deep64, messages
+// from different clusters to the same module must share every port from
+// stage 1 on (the delta-network funnel that makes tree saturation
+// possible), while distinct modules keep distinct final ports.
+func TestThreeStageRoutesConverge(t *testing.T) {
+	cfg := arch.Deep64
+	p := NewPair(cfg, arch.DefaultCosts())
+	a := p.Forward.fwdRoute(arch.CEID{Cluster: 0, Local: 0}, 137)
+	b := p.Forward.fwdRoute(arch.CEID{Cluster: 5, Local: 3}, 137)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("route lengths %d, %d, want 3", len(a), len(b))
+	}
+	if a[0] == b[0] {
+		t.Fatalf("different clusters share stage-0 port %d", a[0])
+	}
+	if a[1] != b[1] || a[2] != b[2] {
+		t.Fatalf("routes to one module diverge after stage 0: %v vs %v", a, b)
+	}
+	if a[2] != 137 {
+		t.Fatalf("final port %d, want the module 137", a[2])
+	}
+}
+
+// TestQueuedCyclesMatchCalendarDelays is the contention-conservation
+// check: the queueing each transit reports must in aggregate equal the
+// delay the port calendars recorded, and the occupancy booked on the
+// calendars must equal the traffic's port-cycles across all stages —
+// no queueing is invented or lost in route traversal.
+func TestQueuedCyclesMatchCalendarDelays(t *testing.T) {
+	cost := arch.DefaultCosts()
+	for _, cfg := range []arch.Config{arch.Cedar32, arch.Scaled64, arch.Deep64} {
+		p := NewPair(cfg, cost)
+		rnd := rand.New(rand.NewSource(7))
+		var queued sim.Duration
+		var words int64
+		for i := 0; i < 400; i++ {
+			ce := cfg.CEByGlobal(rnd.Intn(cfg.CEs()))
+			mod := rnd.Intn(cfg.GMModules)
+			w := 1 + rnd.Intn(64)
+			_, qf := p.Transit(sim.Time(rnd.Intn(50)), ce, mod, w)
+			_, qr := p.TransitBack(sim.Time(rnd.Intn(50)), mod, ce, w)
+			queued += qf + qr
+			words += int64(w)
+		}
+		st := p.Stats()
+		if st.DelayTotal != queued {
+			t.Fatalf("%s: transits reported %d queued cycles, calendars %d",
+				cfg.Name, queued, st.DelayTotal)
+		}
+		// Each word occupies one port per stage in each direction.
+		wantBusy := sim.Duration(2 * words * int64(cfg.NetStages) * cost.PortCyclesPerWord)
+		if st.BusyTotal != wantBusy {
+			t.Fatalf("%s: calendar occupancy %d cycles, traffic implies %d",
+				cfg.Name, st.BusyTotal, wantBusy)
+		}
 	}
 }
 

@@ -136,6 +136,46 @@ func (a App) WithSteps(n int) App {
 	return a
 }
 
+// Scaled returns a weak-scaled copy of the app for a machine factor
+// times the paper's 32-CE Cedar: parallel loop iteration counts and
+// the global data footprint grow with the factor so per-CE work stays
+// roughly constant, while serial sections are left untouched — the
+// fixed Amdahl fraction whose growing share is exactly what the
+// paper's overhead decomposition exposes on larger machines. The name
+// is unchanged so scaled runs compare against their own 1-processor
+// base (core.ContentionOverhead matches results by app name).
+func (a App) Scaled(factor int) App {
+	if factor <= 1 {
+		return a
+	}
+	a.DataWords *= int64(factor)
+	phases := make([]Phase, len(a.Phases))
+	copy(phases, a.Phases)
+	for i := range phases {
+		p := &phases[i]
+		switch p.Kind {
+		case PhaseSerial:
+			// Serial code does not grow with the machine.
+		case PhaseSX:
+			p.Outer *= factor
+		default:
+			p.Inner *= factor
+		}
+	}
+	a.Phases = phases
+	return a
+}
+
+// ScaleFactorFor returns the weak-scaling factor for a machine with
+// the given CE count relative to the paper's 32-CE Cedar: 1 at or
+// below 32 CEs, the CE ratio (rounded up) beyond.
+func ScaleFactorFor(ces int) int {
+	if ces <= 32 {
+		return 1
+	}
+	return (ces + 31) / 32
+}
+
 // TotalIterations returns the flat iteration count executed across
 // the whole run (all steps), for sizing checks.
 func (a App) TotalIterations() int {
