@@ -1,0 +1,159 @@
+// Command cedarfuzz is the fault-scenario regression and fuzzing
+// driver: it replays the checked-in corpus (every entry must meet its
+// declared expectation, twice, with byte-identical statfx output) and
+// then sweeps randomized fail-stop schedules across the page-fault
+// windows of a healthy run — the schedule family that exposed the
+// fail-stop page-fault deadlock. Any scenario that errors is
+// delta-debugged down to a minimal reproduction and printed as a
+// ready-to-paste corpus line.
+//
+// Usage:
+//
+//	cedarfuzz [-corpus testdata/faultcorpus] [-quick] [-n 25]
+//	          [-seed S] [-app FLO52] [-config 8proc] [-steps 1]
+//	          [-shrink 60]
+//
+// Without -quick only the corpus is replayed (cheap, deterministic —
+// the CI regression gate). With -quick the randomized sweep runs too;
+// its seed defaults to the wall clock so every run covers fresh
+// schedules, and is always printed so a failure can be reproduced by
+// re-running with -seed. Exit status: 0 all scenarios behaved, 1
+// otherwise, 2 bad invocation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	cedar "repro"
+	"repro/internal/arch"
+	"repro/internal/faults/replay"
+	"repro/internal/perfect"
+)
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cedarfuzz: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func main() {
+	corpusDir := flag.String("corpus", "testdata/faultcorpus", "regression corpus directory (*.scenario files)")
+	quick := flag.Bool("quick", false, "also run the bounded randomized schedule sweep")
+	n := flag.Int("n", 25, "sweep: number of randomized scenarios")
+	seed := flag.Int64("seed", 0, "sweep: RNG seed (0 = wall clock; the used seed is always printed)")
+	appName := flag.String("app", "FLO52", "sweep: application")
+	configName := flag.String("config", "8proc", "sweep: machine configuration")
+	steps := flag.Int("steps", 1, "sweep: timestep count")
+	shrinkRuns := flag.Int("shrink", 60, "max replays spent shrinking a failing scenario")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalf(2, "unexpected arguments %v", flag.Args())
+	}
+
+	failures := 0
+	failures += replayCorpus(*corpusDir)
+	if *quick {
+		failures += sweep(*appName, *configName, *steps, *seed, *n, *shrinkRuns)
+	}
+	if failures > 0 {
+		fatalf(1, "%d scenario(s) misbehaved", failures)
+	}
+}
+
+// replayCorpus replays every checked-in scenario twice: the outcome
+// must match the entry's expectation and the two runs must produce
+// byte-identical statfx output (the record/replay contract).
+func replayCorpus(dir string) (failures int) {
+	entries, err := replay.LoadCorpus(dir)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	if len(entries) == 0 {
+		fmt.Printf("corpus %s: empty\n", dir)
+		return 0
+	}
+	for _, e := range entries {
+		run, err := cedar.CheckScenario(e.Scenario)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "cedarfuzz: %s:%d: %v\n", e.File, e.Line, err)
+			continue
+		}
+		if run != nil {
+			again, err := cedar.ReplayErr(e.Scenario)
+			if cedar.Outcome(err) != e.Scenario.Expectation() || again == nil ||
+				again.StatfxText() != run.StatfxText() {
+				failures++
+				fmt.Fprintf(os.Stderr,
+					"cedarfuzz: %s:%d: replay not bit-identical across two runs: %s\n",
+					e.File, e.Line, e.Scenario)
+				continue
+			}
+		}
+		fmt.Printf("corpus %s:%d: %s ok\n", e.File, e.Line, e.Scenario.Expectation())
+	}
+	fmt.Printf("corpus %s: %d scenario(s), %d failure(s)\n", dir, len(entries), failures)
+	return failures
+}
+
+// sweep fuzzes fail-stop schedules across the page-fault windows of a
+// healthy run. Failing scenarios are shrunk and printed as corpus
+// lines.
+func sweep(appName, configName string, steps int, seed int64, n, shrinkRuns int) (failures int) {
+	app, ok := perfect.ByName(appName)
+	if !ok {
+		fatalf(2, "unknown application %q", appName)
+	}
+	cfg, ok := arch.FamilyByName(configName)
+	if !ok {
+		fatalf(2, "unknown configuration %q", configName)
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	fmt.Printf("sweep: %s on %s, %d scenario(s), seed %d (reproduce with -seed %d)\n",
+		appName, cfg.Name, n, seed, seed)
+
+	opts := cedar.Options{Steps: steps}
+	windows, err := cedar.FaultWindows(app, cfg, opts)
+	if err != nil {
+		fatalf(1, "healthy window-discovery run failed: %v", err)
+	}
+	if len(windows) == 0 {
+		fatalf(1, "no page-fault windows on the healthy run; nothing to aim at")
+	}
+	fmt.Printf("sweep: %d page-fault window(s), first [%d, %d]\n",
+		len(windows), int64(windows[0].Start), int64(windows[0].End))
+
+	// CE 0 leads the main task; killing it deadlocks the machine by
+	// design (the helpers starve), which would drown real hand-off bugs
+	// in expected failures. Kill any other CE.
+	var ces []int
+	for ce := 1; ce < cfg.CEs(); ce++ {
+		ces = append(ces, ce)
+	}
+	base := cedar.RecordScenario(app, cfg, opts)
+	for i, sc := range replay.SweepTimes(base, windows, ces, cfg.GMModules, seed, n) {
+		if err := sc.Plan.Validate(cfg); err != nil {
+			fatalf(1, "sweep generated an invalid plan: %v", err)
+		}
+		_, err := cedar.ReplayErr(sc)
+		if err == nil {
+			fmt.Printf("sweep %3d/%d: ok  %s\n", i+1, n, sc.Plan)
+			continue
+		}
+		failures++
+		fmt.Fprintf(os.Stderr, "cedarfuzz: sweep %d/%d FAILED (%v)\n  scenario: %s\n",
+			i+1, n, err, sc)
+		shrunk, runs, serr := cedar.ShrinkErr(sc, shrinkRuns)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "  shrink failed: %v\n", serr)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  shrunk (%d replays): %s\n  add it to the corpus with a comment naming the bug\n",
+			runs, shrunk)
+	}
+	return failures
+}

@@ -11,6 +11,8 @@
 //	         [-config 64proc] [-clusters N -ces-per-cluster N
 //	          -gm-modules N -stages N -degree N] [-list-configs]
 //	         [-fault ce:2@1e6,module:17@5e5]
+//	         [-record-scenario corpus.scenario]
+//	         [-replay 'app=FLO52 config=8proc ... plan=ce:1@76414']
 //	         [-trace out.json] [-profile out.folded] [-series out.csv|out.prom]
 //
 // The machine defaults to the paper configuration selected by -ces
@@ -22,6 +24,13 @@
 //
 // With -fault, the run is repeated healthy and degraded and a
 // baseline-vs-degraded overhead-decomposition delta table is printed.
+// -record-scenario appends the fault run as a canonical replay
+// scenario line (app, config, steps, resolved seed, plan, observed
+// outcome) to a corpus file; -replay takes such a line — or a path to
+// a .scenario corpus file — and re-runs it bit-identically, verifying
+// any expect= declaration. The simulation is deterministic in virtual
+// time, so a recorded line is a complete, stable reproduction of the
+// run it came from.
 //
 // The observability flags arm the obs layer: -trace writes a
 // Chrome/Perfetto trace-event file (load it at ui.perfetto.dev),
@@ -43,6 +52,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/faults/replay"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/perfect"
@@ -104,6 +114,8 @@ func main() {
 	chunk := flag.Int("chunk", 0, "XDOALL pickup chunk size (>1 amortizes the iteration lock)")
 	tree := flag.Int("tree", 0, "combining-tree fanout for the flat machine's barriers (>1 enables)")
 	faultSpec := flag.String("fault", "", "fault plan, e.g. ce:2@1e6,module:17@5e5 (see internal/faults)")
+	replayArg := flag.String("replay", "", "replay a recorded fault scenario: a scenario line, or a path to a .scenario corpus file")
+	recordPath := flag.String("record-scenario", "", "with -fault: append the run's replay scenario line to this corpus file")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
 	profilePath := flag.String("profile", "", "write a folded-stack profile weighted by virtual cycles")
 	seriesPath := flag.String("series", "", "write the sampled time series (CSV, or Prometheus text if *.prom)")
@@ -112,6 +124,15 @@ func main() {
 	if *listConfigs {
 		printConfigs()
 		return
+	}
+	if *replayArg != "" {
+		// A scenario carries its own app, config, steps, and seed; the
+		// selection flags do not apply to a replay.
+		runReplay(*replayArg)
+		return
+	}
+	if *recordPath != "" && *faultSpec == "" {
+		usageErr("-record-scenario needs a -fault plan to record")
 	}
 	if *steps < 0 {
 		usageErr("-steps %d is negative", *steps)
@@ -211,7 +232,7 @@ func main() {
 	}
 
 	if *faultSpec != "" {
-		runFaulted(app, cfg, opts, *faultSpec, exp)
+		runFaulted(app, cfg, opts, *faultSpec, *recordPath, exp)
 		return
 	}
 
@@ -344,9 +365,69 @@ func (e exporter) toFile(path string, fn func(*os.File) error) {
 	fmt.Fprintf(os.Stderr, "cedarsim: wrote %s\n", path)
 }
 
+// runReplay re-runs one recorded scenario — or every scenario in a
+// corpus file — and verifies each declared expectation. Exit status 1
+// when any scenario misses its expectation.
+func runReplay(arg string) {
+	type item struct {
+		sc    replay.Scenario
+		where string
+	}
+	var items []item
+	if strings.Contains(arg, "plan=") {
+		sc, err := replay.Parse(arg)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		items = append(items, item{sc, "command line"})
+	} else {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			usageErr("-replay %s: %v", arg, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			sc, err := replay.Parse(line)
+			if err != nil {
+				usageErr("%s:%d: %v", arg, i+1, err)
+			}
+			items = append(items, item{sc, fmt.Sprintf("%s:%d", arg, i+1)})
+		}
+		if len(items) == 0 {
+			usageErr("-replay %s: no scenarios in file", arg)
+		}
+	}
+	failed := 0
+	for _, it := range items {
+		fmt.Printf("replay %s\n  %s\n", it.where, it.sc)
+		run, err := cedar.CheckScenario(it.sc)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+			continue
+		}
+		if run != nil && it.sc.Expectation() == replay.ExpectOK {
+			fmt.Printf("  outcome: ok (ct=%d, seq faults=%d, conc faults=%d)\n",
+				int64(run.Result.CT), run.OS.SeqFaults(), run.OS.ConcFaults())
+		} else {
+			fmt.Printf("  outcome: %s, as expected\n", it.sc.Expectation())
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cedarsim: %d of %d scenario(s) missed their expectation\n",
+			failed, len(items))
+		os.Exit(1)
+	}
+}
+
 // runFaulted runs the degraded-vs-baseline comparison for one fault
-// plan and prints the decomposition delta table.
-func runFaulted(app perfect.App, cfg arch.Config, opts cedar.Options, spec string, exp exporter) {
+// plan and prints the decomposition delta table. With recordPath, the
+// run is appended to that corpus file as a replay scenario line
+// carrying its observed outcome.
+func runFaulted(app perfect.App, cfg arch.Config, opts cedar.Options, spec, recordPath string, exp exporter) {
 	plan, err := faults.Parse(spec)
 	if err != nil {
 		usageErr("%v", err)
@@ -372,6 +453,20 @@ func runFaulted(app perfect.App, cfg arch.Config, opts cedar.Options, spec strin
 			fmt.Printf("  cycle %-12d %s\n", int64(a.At), a.Note)
 		}
 		fmt.Println()
+	}
+	if recordPath != "" {
+		// Record the degraded run — deadlocks very much included: a
+		// schedule that wedges the machine is exactly what the corpus
+		// exists to pin.
+		po := opts
+		po.Faults = plan
+		sc := cedar.RecordScenario(app, cfg, po)
+		sc.Expect = cedar.Outcome(fr.Err)
+		if err := replay.AppendCorpus(recordPath, sc, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cedarsim: recorded to %s: %s\n", recordPath, sc)
 	}
 	if fr.Err != nil {
 		switch {

@@ -1,0 +1,206 @@
+// Package replay turns injected fault scenarios into serializable,
+// replayable, shrinkable artifacts — the deterministic-record/replay
+// discipline that keeps a once-in-a-hundred-runs schedule bug (like
+// the fail-stop page-fault deadlock) from becoming folklore.
+//
+// A Scenario pins everything a fault run's outcome depends on: the
+// application, the machine configuration, the timestep count, the
+// kernel RNG seed, and the fault plan. Its canonical one-line text
+// form
+//
+//	app=FLO52 config=8proc steps=1 seed=12345 plan=ce:1@76414 expect=ok
+//
+// round-trips through Parse/String, pastes into cedarsim -replay, and
+// checks into a regression corpus (testdata/faultcorpus/) replayed by
+// cedarfuzz and CI. Because the simulation kernel is deterministic in
+// virtual time, replaying a scenario reproduces the original run bit
+// for bit.
+//
+// The package holds the data model, the corpus loader, the schedule
+// fuzzer (fuzz.go), and the delta-debugging shrinker (shrink.go); the
+// runner lives in the cedar facade (cedar.ReplayErr), which this
+// package deliberately does not import.
+package replay
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// Expected outcomes a corpus entry can declare. The empty string means
+// ExpectOK.
+const (
+	ExpectOK       = "ok"       // the run must complete without error
+	ExpectDeadlock = "deadlock" // the run must stop with sim.ErrDeadlock
+	ExpectError    = "error"    // the run must fail (any simulation error)
+)
+
+// Scenario is one recorded fault schedule: everything needed to re-run
+// an injected-fault simulation bit-identically.
+type Scenario struct {
+	// App is the perfect-benchmark application name (e.g. "FLO52").
+	App string
+	// Config is the machine family member name (e.g. "8proc").
+	Config string
+	// Steps is the timestep override; 0 keeps the app default.
+	Steps int
+	// Seed is the simulation kernel's RNG seed; 0 means the runner's
+	// deterministic app+config-derived seed. Recorded scenarios carry
+	// the resolved value so they stay stable even if the derivation
+	// changes.
+	Seed int64
+	// Plan is the fault schedule, in the faults.Parse grammar.
+	Plan faults.Plan
+	// Expect declares the required outcome when the scenario is a
+	// corpus entry: ExpectOK (default), ExpectDeadlock, or ExpectError.
+	Expect string
+}
+
+// String renders the scenario in its canonical one-line form: fixed
+// field order, expect omitted when empty or "ok".
+func (s Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app=%s config=%s steps=%d seed=%d plan=%s",
+		s.App, s.Config, s.Steps, s.Seed, s.Plan)
+	if s.Expect != "" && s.Expect != ExpectOK {
+		fmt.Fprintf(&b, " expect=%s", s.Expect)
+	}
+	return b.String()
+}
+
+// Parse parses a scenario line (any key=value order; app, config, and
+// plan are required). The inverse of String.
+func Parse(line string) (Scenario, error) {
+	var s Scenario
+	for _, field := range strings.Fields(strings.TrimSpace(line)) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return s, fmt.Errorf("replay: field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "app":
+			s.App = val
+		case "config":
+			s.Config = val
+		case "steps":
+			s.Steps, err = strconv.Atoi(val)
+			if err == nil && s.Steps < 0 {
+				err = fmt.Errorf("negative steps %d", s.Steps)
+			}
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "plan":
+			s.Plan, err = faults.Parse(val)
+		case "expect":
+			switch val {
+			case ExpectOK, ExpectDeadlock, ExpectError:
+				s.Expect = val
+			default:
+				err = fmt.Errorf("unknown expectation %q (want %s, %s, or %s)",
+					val, ExpectOK, ExpectDeadlock, ExpectError)
+			}
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return s, fmt.Errorf("replay: field %q: %w", field, err)
+		}
+	}
+	switch {
+	case s.App == "":
+		return s, fmt.Errorf("replay: scenario %q missing app=", line)
+	case s.Config == "":
+		return s, fmt.Errorf("replay: scenario %q missing config=", line)
+	case len(s.Plan) == 0:
+		return s, fmt.Errorf("replay: scenario %q missing plan=", line)
+	}
+	return s, nil
+}
+
+// Expectation returns the scenario's declared outcome, defaulting to
+// ExpectOK.
+func (s Scenario) Expectation() string {
+	if s.Expect == "" {
+		return ExpectOK
+	}
+	return s.Expect
+}
+
+// CorpusEntry is one scenario loaded from a corpus file, with its
+// provenance for failure messages.
+type CorpusEntry struct {
+	Scenario Scenario
+	File     string // path of the corpus file
+	Line     int    // 1-based line number within the file
+}
+
+// CorpusExt is the file extension corpus files use.
+const CorpusExt = ".scenario"
+
+// LoadCorpus reads every *.scenario file under dir (sorted by name for
+// deterministic ordering). Each file holds one scenario per line;
+// blank lines and #-comments are skipped. A missing directory is an
+// empty corpus, not an error — a fresh checkout fuzzes before it
+// records.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*"+CorpusExt))
+	if err != nil {
+		return nil, fmt.Errorf("replay: corpus %s: %w", dir, err)
+	}
+	sort.Strings(names)
+	var entries []CorpusEntry
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("replay: corpus %s: %w", dir, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			sc, err := Parse(line)
+			if err != nil {
+				return nil, fmt.Errorf("replay: %s:%d: %w", name, i+1, err)
+			}
+			entries = append(entries, CorpusEntry{Scenario: sc, File: name, Line: i + 1})
+		}
+	}
+	return entries, nil
+}
+
+// AppendCorpus appends a scenario (with an optional #-comment line
+// above it) to a corpus file, creating the file and directory as
+// needed. Used by cedarfuzz to check in freshly found regressions.
+func AppendCorpus(path string, sc Scenario, comment string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	var b strings.Builder
+	if comment != "" {
+		for _, l := range strings.Split(comment, "\n") {
+			fmt.Fprintf(&b, "# %s\n", l)
+		}
+	}
+	fmt.Fprintf(&b, "%s\n", sc)
+	_, werr := f.WriteString(b.String())
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("replay: writing %s: %w", path, werr)
+	}
+	return nil
+}

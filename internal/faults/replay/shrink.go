@@ -1,0 +1,114 @@
+package replay
+
+import (
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// Shrink minimizes a failing scenario with delta debugging: the fault
+// plan is reduced ddmin-style (drop event subsets, largest chunks
+// first) and the surviving events are then simplified one knob at a
+// time (times rounded to coarser grids, slow-down factors and stall
+// spans snapped to canonical values). A candidate is kept only when
+// failing still returns true for it, so the result reproduces the same
+// failure with the fewest, plainest injections.
+//
+// failing must be deterministic (replayed scenarios are) and should
+// return true when the candidate reproduces the original failure
+// class. maxRuns bounds the number of failing invocations (<= 0 means
+// a default of 200). Shrink returns the minimized scenario and the
+// number of candidate runs spent; if the input itself does not fail,
+// it is returned unchanged.
+func Shrink(sc Scenario, failing func(Scenario) bool, maxRuns int) (Scenario, int) {
+	if maxRuns <= 0 {
+		maxRuns = 200
+	}
+	runs := 0
+	test := func(cand Scenario) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return failing(cand)
+	}
+	if !test(sc) {
+		return sc, runs
+	}
+	sc.Plan = shrinkPlan(sc, test)
+	sc.Plan = simplifyEvents(sc, test)
+	return sc, runs
+}
+
+// shrinkPlan is the ddmin loop over plan events.
+func shrinkPlan(sc Scenario, test func(Scenario) bool) faults.Plan {
+	plan := sc.Plan
+	chunk := (len(plan) + 1) / 2
+	for chunk >= 1 && len(plan) > 1 {
+		reduced := false
+		for lo := 0; lo < len(plan); lo += chunk {
+			hi := lo + chunk
+			if hi > len(plan) {
+				hi = len(plan)
+			}
+			// Try the complement: the plan without [lo, hi).
+			cand := make(faults.Plan, 0, len(plan)-(hi-lo))
+			cand = append(cand, plan[:lo]...)
+			cand = append(cand, plan[hi:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			trial := sc
+			trial.Plan = cand
+			if test(trial) {
+				plan = cand
+				reduced = true
+				lo -= chunk // re-test the same offset against the shrunk plan
+			}
+		}
+		if !reduced {
+			chunk /= 2
+		} else if chunk > len(plan) {
+			chunk = len(plan)
+		}
+	}
+	return plan
+}
+
+// simplifyEvents canonicalizes each surviving event's knobs while the
+// failure keeps reproducing: times snap to coarser grids, factors to
+// small integers, spans to the parser default.
+func simplifyEvents(sc Scenario, test func(Scenario) bool) faults.Plan {
+	plan := append(faults.Plan(nil), sc.Plan...)
+	try := func(i int, ev faults.Event) bool {
+		if ev == plan[i] {
+			return false
+		}
+		cand := append(faults.Plan(nil), plan...)
+		cand[i] = ev
+		trial := sc
+		trial.Plan = cand
+		if test(trial) {
+			plan = cand
+			return true
+		}
+		return false
+	}
+	for i := range plan {
+		for _, grid := range []sim.Time{100_000, 10_000, 1_000} {
+			ev := plan[i]
+			ev.At = ev.At / grid * grid
+			try(i, ev)
+		}
+		if plan[i].Factor > 2 {
+			ev := plan[i]
+			ev.Factor = 2
+			try(i, ev)
+		}
+		if plan[i].Span > 0 && plan[i].Span != faults.DefaultLockSpan {
+			ev := plan[i]
+			ev.Span = faults.DefaultLockSpan
+			try(i, ev)
+		}
+	}
+	return plan
+}

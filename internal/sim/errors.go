@@ -32,7 +32,10 @@ type DeadlockError struct {
 	Blocked []BlockedProc
 }
 
-// Error implements error, naming the blocked processes.
+// Error implements error, naming the blocked processes and, for every
+// primitive with more than one waiter, the full waiter set — so a
+// wedge on a shared condition (a pgflt cond names its region, page,
+// and owner CE) is diagnosable from the error string alone.
 func (e *DeadlockError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sim: deadlock at cycle %d: %d live process(es), %d blocked",
@@ -51,7 +54,44 @@ func (e *DeadlockError) Error() string {
 	if len(e.Blocked) > max {
 		fmt.Fprintf(&b, "; and %d more", len(e.Blocked)-max)
 	}
+	for _, g := range e.WaiterSets() {
+		if len(g.Waiters) < 2 {
+			continue
+		}
+		fmt.Fprintf(&b, "; %d waiters on %s: %s",
+			len(g.Waiters), g.Primitive, strings.Join(g.Waiters, ", "))
+	}
 	return b.String()
+}
+
+// WaiterSet is one blocking primitive and every process stuck on it at
+// deadlock detection time.
+type WaiterSet struct {
+	Primitive string
+	Waiters   []string
+}
+
+// WaiterSets groups the blocked processes by the primitive each waits
+// on, in first-appearance order. Unlike the per-process listing in
+// Error (capped at 8), the grouping covers the whole blocked set.
+func (e *DeadlockError) WaiterSets() []WaiterSet {
+	var order []string
+	byPrim := map[string][]string{}
+	for _, p := range e.Blocked {
+		on := p.WaitingOn
+		if on == "" {
+			on = "unknown"
+		}
+		if _, seen := byPrim[on]; !seen {
+			order = append(order, on)
+		}
+		byPrim[on] = append(byPrim[on], p.Name)
+	}
+	out := make([]WaiterSet, 0, len(order))
+	for _, on := range order {
+		out = append(out, WaiterSet{Primitive: on, Waiters: byPrim[on]})
+	}
+	return out
 }
 
 // Is makes errors.Is(err, ErrDeadlock) match.

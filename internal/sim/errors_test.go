@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -178,6 +179,55 @@ func TestDeadlockErrorTruncatesLongLists(t *testing.T) {
 	}
 	if !strings.Contains(msg, "p waits on unknown") {
 		t.Fatalf("empty WaitingOn not rendered as unknown: %q", msg)
+	}
+}
+
+// TestDeadlockErrorWaiterSets: the grouped view covers the whole
+// blocked set (unlike the per-process listing, capped at 8) and the
+// error string names every multi-waiter primitive with its full
+// waiter list — the diagnosable-from-the-string-alone contract the
+// page-fault cond relies on.
+func TestDeadlockErrorWaiterSets(t *testing.T) {
+	e := &DeadlockError{At: 7, Live: 12}
+	for i := 0; i < 9; i++ {
+		e.Blocked = append(e.Blocked, BlockedProc{
+			Name: fmt.Sprintf("w%d", i), WaitingOn: "cond:pgflt:data.c0.p0(owner=ce0)"})
+	}
+	e.Blocked = append(e.Blocked,
+		BlockedProc{Name: "holder", WaitingOn: "lock:mutex"},
+		BlockedProc{Name: "lost"}, // empty WaitingOn groups as unknown
+		BlockedProc{Name: "spinner", WaitingOn: "lock:mutex"},
+	)
+	sets := e.WaiterSets()
+	if len(sets) != 3 {
+		t.Fatalf("got %d waiter sets, want 3: %+v", len(sets), sets)
+	}
+	// First-appearance order, whole blocked set covered.
+	if sets[0].Primitive != "cond:pgflt:data.c0.p0(owner=ce0)" || len(sets[0].Waiters) != 9 {
+		t.Fatalf("pgflt set wrong: %+v", sets[0])
+	}
+	if sets[1].Primitive != "lock:mutex" || len(sets[1].Waiters) != 2 ||
+		sets[1].Waiters[0] != "holder" || sets[1].Waiters[1] != "spinner" {
+		t.Fatalf("lock set wrong: %+v", sets[1])
+	}
+	if sets[2].Primitive != "unknown" || len(sets[2].Waiters) != 1 {
+		t.Fatalf("unknown set wrong: %+v", sets[2])
+	}
+	msg := e.Error()
+	// The 9th pgflt waiter is past the per-process cap but must still
+	// appear in the grouped line.
+	if !strings.Contains(msg, "and 4 more") {
+		t.Fatalf("per-process listing not capped: %q", msg)
+	}
+	if !strings.Contains(msg, "9 waiters on cond:pgflt:data.c0.p0(owner=ce0): w0, w1, w2, w3, w4, w5, w6, w7, w8") {
+		t.Fatalf("grouped pgflt waiters missing from message: %q", msg)
+	}
+	if !strings.Contains(msg, "2 waiters on lock:mutex: holder, spinner") {
+		t.Fatalf("grouped lock waiters missing from message: %q", msg)
+	}
+	// Singleton sets stay out of the grouped suffix.
+	if strings.Contains(msg, "1 waiters on") {
+		t.Fatalf("singleton waiter set rendered: %q", msg)
 	}
 }
 

@@ -1,0 +1,261 @@
+package xylem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TestOwnerFailStopAtEachPhase kills the page-fault owner at every
+// phase of the service path and requires the machine to keep going:
+// no joiner may ever be stranded on the fault cond, and the page must
+// come up mapped (by the owner if it died post-map, by a retaking
+// joiner otherwise). The post-map cases are the fail-stop page-fault
+// deadlock: before the unconditional rollback defer, an owner dying
+// between the map and the broadcast left its joiners parked forever.
+func TestOwnerFailStopAtEachPhase(t *testing.T) {
+	cases := []struct {
+		name  string
+		phase FaultPhase
+		// delay, when non-zero, schedules the kill that many cycles
+		// after the phase instead of aborting the owner in-place.
+		delay func(o *OS) sim.Duration
+		// rogue pre-holds the cluster kernel lock so the owner parks
+		// inside Acquire when the delayed kill lands.
+		rogue bool
+	}{
+		{name: "pre-lock", phase: FaultPreLock},
+		{name: "blocked-in-acquire", phase: FaultPreLock, rogue: true,
+			delay: func(*OS) sim.Duration { return 2_000 }},
+		{name: "holding-cluster-lock", phase: FaultLocked},
+		{name: "mid-service-spend", phase: FaultService,
+			delay: func(o *OS) sim.Duration { return sim.Duration(o.Cost.PageFaultSeq / 2) }},
+		{name: "post-map-pre-broadcast", phase: FaultPreBroadcast},
+		{name: "post-map-mid-cpi", phase: FaultPreBroadcast,
+			delay: func(o *OS) sim.Duration { return sim.Duration(o.Cost.CPIService / 8) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			k, m, o := rig(arch.Cedar8)
+			r := o.NewRegion("data", 10_000)
+			owner := m.CE(0)
+
+			if tc.rogue {
+				k.Spawn("rogue", func(p *sim.Proc) {
+					lock := o.clusterLocks[0]
+					lock.Acquire(p)
+					p.Hold(5_000)
+					lock.Release()
+				})
+			}
+
+			killed := false
+			o.FaultHook = func(ce *cluster.CE, ph FaultPhase) {
+				if killed || ce != owner || ph != tc.phase {
+					return
+				}
+				killed = true
+				if tc.delay == nil {
+					owner.Fail()
+					return
+				}
+				k.Schedule(k.Now()+sim.Time(tc.delay(o)), owner.Fail)
+			}
+
+			bind(k, owner, func() { r.Touch(owner, 0, 8) })
+			joined := 0
+			for g := 1; g <= 2; g++ {
+				ce := m.CE(g)
+				bind(k, ce, func() {
+					ce.Proc.Hold(10) // arrive while the owner's service is in flight
+					r.Touch(ce, 0, 8)
+					joined++
+				})
+			}
+
+			if _, err := k.RunAllErr(); err != nil {
+				t.Fatalf("killing the owner at %s wedged the machine: %v", tc.phase, err)
+			}
+			if !killed {
+				t.Fatalf("phase %s never fired", tc.phase)
+			}
+			if !owner.Failed() {
+				t.Fatal("owner did not fail-stop")
+			}
+			if joined != 2 {
+				t.Fatalf("%d of 2 joiners completed their touch", joined)
+			}
+			if got := r.MappedPages(0); got != 1 {
+				t.Fatalf("mapped pages = %d, want 1", got)
+			}
+			if len(r.inflight) != 0 {
+				t.Fatalf("%d fault states leaked in r.inflight", len(r.inflight))
+			}
+		})
+	}
+}
+
+// TestJoinerFailStopUncountsItself: a joiner killed while parked on
+// the fault cond must retract its joiner/concurrent-fault count, or
+// the owner classifies its solo service as concurrent and the Table-2
+// breakdown charges a CPI and OSPgFltConc time for a participant that
+// never completed.
+func TestJoinerFailStopUncountsItself(t *testing.T) {
+	k, m, o := rig(arch.Cedar8)
+	r := o.NewRegion("data", 10_000)
+	owner, joiner := m.CE(0), m.CE(1)
+
+	o.FaultHook = func(ce *cluster.CE, ph FaultPhase) {
+		if ce == owner && ph == FaultService {
+			// The joiner is parked in fs.done.Wait by now (it touched at
+			// cycle 10; the service runs far longer). Kill it mid-service.
+			k.Schedule(k.Now()+sim.Time(o.Cost.PageFaultSeq/2), joiner.Fail)
+		}
+	}
+	bind(k, owner, func() { r.Touch(owner, 0, 8) })
+	bind(k, joiner, func() {
+		joiner.Proc.Hold(10)
+		r.Touch(joiner, 0, 8)
+		t.Error("dead joiner's touch returned")
+	})
+
+	if _, err := k.RunAllErr(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	o.FlushAccounting()
+	if !joiner.Failed() {
+		t.Fatal("joiner did not fail-stop")
+	}
+	if o.SeqFaults() != 1 || o.ConcFaults() != 0 {
+		t.Fatalf("seq=%d conc=%d, want 1,0 (dead joiner still counted)",
+			o.SeqFaults(), o.ConcFaults())
+	}
+	if o.Brk.Time[metrics.OSPgFltConc] != 0 {
+		t.Fatalf("OSPgFltConc = %d, want 0: solo service misclassified as concurrent",
+			o.Brk.Time[metrics.OSPgFltConc])
+	}
+	if o.Brk.Time[metrics.OSPgFltSeq] == 0 {
+		t.Fatal("no sequential fault time recorded")
+	}
+	if got := r.MappedPages(0); got != 1 {
+		t.Fatalf("mapped pages = %d, want 1", got)
+	}
+}
+
+// TestInvalidateSkipsInflightFault: a paging storm arriving while a
+// fault is in flight must leave that page's service alone — the storm
+// drops only mapped pages (and counts only them), the service
+// completes, and its joiner is never stranded.
+func TestInvalidateSkipsInflightFault(t *testing.T) {
+	k, m, o := rig(arch.Cedar8)
+	pageWords := o.Cost.PageBytes / 8
+	r := o.NewRegion("data", pageWords*2)
+	owner, joiner := m.CE(0), m.CE(1)
+	ready := sim.NewCond(k, "page0-fault-started")
+
+	dropped := -1
+	o.FaultHook = func(ce *cluster.CE, ph FaultPhase) {
+		if ph != FaultService || ce != owner || r.MappedPages(0) != 1 || dropped >= 0 {
+			return // only the second fault (page 0, with page 1 already mapped)
+		}
+		ready.Broadcast() // release the joiner into the in-flight fault
+		k.Schedule(k.Now()+sim.Time(o.Cost.PageFaultSeq/2), func() {
+			dropped = r.InvalidateMappings(0)
+		})
+	}
+
+	bind(k, owner, func() {
+		r.Touch(owner, pageWords, 1) // map page 1 first
+		r.Touch(owner, 0, 1)         // then fault page 0; the storm lands mid-service
+	})
+	joined := false
+	bind(k, joiner, func() {
+		ready.Wait(joiner.Proc)
+		r.Touch(joiner, 0, 1)
+		joined = true
+	})
+
+	if _, err := k.RunAllErr(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	o.FlushAccounting()
+	if dropped != 1 {
+		t.Fatalf("invalidation dropped %d mappings, want 1 (mapped page 1 only, "+
+			"never the in-flight page 0)", dropped)
+	}
+	if !joined {
+		t.Fatal("joiner stranded by the invalidation")
+	}
+	// Page 0's service completed normally despite the storm; page 1 was
+	// dropped and stays unmapped until re-touched.
+	if got := r.MappedPages(0); got != 1 {
+		t.Fatalf("mapped pages = %d, want 1", got)
+	}
+	if o.SeqFaults() != 1 || o.ConcFaults() != 2 {
+		t.Fatalf("seq=%d conc=%d, want 1,2", o.SeqFaults(), o.ConcFaults())
+	}
+}
+
+// TestDeadlockReportNamesFaultCond: when a page-fault service truly
+// wedges (here: the cluster kernel lock is never released), the
+// deadlock report must be diagnosable from the error string alone —
+// the fault cond's name carries the region, page, and owning CE, and
+// the stranded joiners appear as a grouped waiter set.
+func TestDeadlockReportNamesFaultCond(t *testing.T) {
+	k, m, o := rig(arch.Cedar8)
+	r := o.NewRegion("data", 10_000)
+	never := sim.NewCond(k, "never-signaled")
+	k.Spawn("rogue", func(p *sim.Proc) {
+		o.clusterLocks[0].Acquire(p)
+		never.Wait(p) // hold the lock forever
+	})
+	owner := m.CE(0)
+	bind(k, owner, func() {
+		owner.Proc.Hold(1) // let the rogue take the lock first
+		r.Touch(owner, 0, 8)
+	})
+	for g := 1; g <= 2; g++ {
+		ce := m.CE(g)
+		bind(k, ce, func() {
+			ce.Proc.Hold(10)
+			r.Touch(ce, 0, 8)
+		})
+	}
+
+	_, err := k.RunAllErr()
+	if err == nil {
+		t.Fatal("a never-released kernel lock did not deadlock the run")
+	}
+	if !errors.Is(err, sim.ErrDeadlock) {
+		t.Fatalf("error %v is not sim.ErrDeadlock", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "pgflt:data.c0.p0(owner=ce0)") {
+		t.Fatalf("report does not name the fault cond, page, and owner:\n%s", msg)
+	}
+	if !strings.Contains(msg, "2 waiters on cond:pgflt:data.c0.p0(owner=ce0)") {
+		t.Fatalf("report does not group the stranded joiners:\n%s", msg)
+	}
+	var de *sim.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is not a *sim.DeadlockError: %v", err)
+	}
+	found := false
+	for _, ws := range de.WaiterSets() {
+		if strings.HasPrefix(ws.Primitive, "cond:pgflt:") {
+			found = true
+			if len(ws.Waiters) != 2 {
+				t.Fatalf("pgflt waiter set has %d waiters, want 2: %v", len(ws.Waiters), ws.Waiters)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no pgflt waiter set in %+v", de.WaiterSets())
+	}
+}

@@ -1,6 +1,8 @@
 package xylem
 
 import (
+	"fmt"
+
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -79,9 +81,12 @@ func (r *Region) MappedPages(cluster int) int {
 func (r *Region) Addr(offset int64) int64 { return r.Base + offset%r.Words }
 
 // InvalidateMappings unmaps the region's mapped pages for cluster task
-// cl (cl < 0: every cluster task), skipping pages with a fault in
-// flight. It returns the number of mappings dropped; subsequent
-// touches re-fault them.
+// cl (cl < 0: every cluster task) and returns the number of mappings
+// dropped; subsequent touches re-fault them. A page with a fault in
+// flight is not yet mapped, so it is left alone and does not count
+// toward the returned total: its service completes normally and the
+// page comes up mapped — invalidation never interrupts an in-flight
+// service or strands its waiters.
 func (r *Region) InvalidateMappings(cl int) int {
 	n := 0
 	for c := range r.state {
@@ -137,11 +142,25 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 		fs := r.inflight[key]
 		fs.joiners++
 		o.concFaults++
+		// A joiner that fail-stops while parked in Wait (or anywhere in
+		// its share of the handling) unwinds with ErrAborted and must
+		// uncount itself, or the owner classifies a solo service as
+		// concurrent and concFaults/OSPgFltConc overcount a participant
+		// that never completed.
+		finished := false
+		defer func() {
+			if !finished {
+				fs.joiners--
+				o.concFaults--
+			}
+		}()
 		waited := fs.done.Wait(ce.Proc)
 		ce.Charge(waited, metrics.CatOSSystem)
 		if r.state[cl][p] != pageMapped {
 			// The owner fail-stopped mid-service and rolled the page
-			// back to unmapped: retake the fault ourselves.
+			// back to unmapped: retake the fault ourselves. The void
+			// join stays counted — this CE did trap and synchronize.
+			finished = true
 			return ce.Now() - start + r.fault(ce, cl, p)
 		}
 		// After the owner finishes the service, each joiner still runs
@@ -157,41 +176,59 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 		ce.Spend(cpi, metrics.CatOSInterrupt)
 		o.Brk.Add(metrics.OSCpi, cpi)
 		o.Obs.Span(ce.Global(), "pgflt(conc)", obs.CatOS, start, ce.Now(), int64(p))
+		finished = true
 		return ce.Now() - start
 
 	default: // pageUnmapped
 		r.state[cl][p] = pageFaulting
-		fs := &faultState{done: sim.NewCond(o.M.Kernel, "pgflt")}
+		// The cond's name carries the region, page, and owner so a
+		// watchdog report is diagnosable from the error alone: a
+		// stranded waiter names exactly which service wedged and which
+		// CE owned it.
+		fs := &faultState{done: sim.NewCond(o.M.Kernel,
+			fmt.Sprintf("pgflt:%s.c%d.p%d(owner=ce%d)", r.Name, cl, p, ce.Global()))}
 		r.inflight[key] = fs
-		// If this CE fail-stops mid-service (unwinding via ErrAborted),
-		// roll the claim back and wake any joiners so one of them can
-		// retake the fault instead of waiting forever.
+		// The rollback-and-wake path. Deferred so it runs on the normal
+		// return AND when the owner fail-stops anywhere in the service:
+		// parked in lock.Acquire, mid-Spend inside Hold, or in the
+		// post-map CPI (Kernel.Abort delivers ErrAborted as a panic
+		// through whichever primitive the Proc sleeps in). If the
+		// mapping never committed, roll the claim back so a woken
+		// joiner retakes the fault; either way wake every joiner — an
+		// owner that dies after the map but before the wakeup must not
+		// strand them on cond:pgflt (the fail-stop page-fault deadlock).
 		defer func() {
 			if r.state[cl][p] == pageFaulting {
 				r.state[cl][p] = pageUnmapped
-				delete(r.inflight, key)
-				fs.done.Broadcast()
 			}
+			if r.inflight[key] == fs {
+				delete(r.inflight, key)
+			}
+			fs.done.Broadcast()
 		}()
 
 		// The pager runs under the cluster kernel lock briefly, then
 		// services the fault.
+		o.phase(ce, FaultPreLock)
 		lock := o.clusterLocks[cl]
 		if waited := lock.Acquire(ce.Proc); waited > 0 {
 			ce.Charge(waited, metrics.CatOSSpin)
 		}
 		func() {
 			defer lock.Release()
+			o.phase(ce, FaultLocked)
 			crit := sim.Duration(o.Cost.CritSectCluster / 4) // pager queue touch
 			ce.Spend(crit, metrics.CatOSSystem)
 			o.Brk.Add(metrics.OSCrSectClus, crit)
 		}()
 
+		o.phase(ce, FaultService)
 		service := sim.Duration(o.Cost.PageFaultSeq)
 		ce.Spend(service, metrics.CatOSSystem)
 
 		r.state[cl][p] = pageMapped
 		delete(r.inflight, key)
+		o.phase(ce, FaultPreBroadcast)
 		if fs.joiners > 0 {
 			// Someone piled on: the whole service was a concurrent
 			// fault, and the owner took part in the cross-processor
@@ -207,7 +244,7 @@ func (r *Region) fault(ce *cluster.CE, cl, p int) sim.Duration {
 			o.Brk.Add(metrics.OSPgFltSeq, service)
 			o.Obs.Span(ce.Global(), "pgflt(seq)", obs.CatOS, start, ce.Now(), int64(p))
 		}
-		fs.done.Broadcast()
+		// The deferred rollback path broadcasts to the joiners.
 		return ce.Now() - start
 	}
 }

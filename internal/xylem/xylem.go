@@ -48,6 +48,12 @@ type OS struct {
 	// critical-section service windows, kernel-lock spin, interrupt
 	// delivery, and page fault handling.
 	Obs *obs.Recorder
+	// FaultHook, when non-nil, is called with the owning CE at each
+	// FaultPhase of every page-fault service. Fault-injection tests and
+	// the schedule fuzzer use it to land fail-stops in exact windows: a
+	// hook may call CE.Fail directly (the service unwinds right there)
+	// or schedule a later one. Nil in normal operation.
+	FaultHook func(ce *cluster.CE, phase FaultPhase)
 
 	globalLock   *sim.Resource
 	clusterLocks []*sim.Resource
@@ -66,6 +72,46 @@ type pendingCharge struct {
 	os   metrics.OSCategory
 	cat  metrics.Category
 	cost sim.Duration
+}
+
+// FaultPhase names a point in the page-fault service path where the
+// owner CE can fail-stop with distinct consequences. The phases match
+// the hand-off structure of Region.fault: each one is a window the
+// fail-stop deadlock regression suite kills the owner in.
+type FaultPhase int
+
+const (
+	// FaultPreLock: the claim is taken (page marked faulting, joiners
+	// can pile on) but the cluster kernel lock is not yet acquired —
+	// the owner may be parked in lock.Acquire.
+	FaultPreLock FaultPhase = iota
+	// FaultLocked: the owner holds the cluster kernel lock for the
+	// pager queue touch.
+	FaultLocked
+	// FaultService: the lock is dropped and the fault service time is
+	// about to be spent (a Hold the owner can die inside).
+	FaultService
+	// FaultPreBroadcast: the page is mapped but the joiners are not yet
+	// woken — the window whose unguarded exit was the fail-stop
+	// page-fault deadlock.
+	FaultPreBroadcast
+)
+
+var faultPhaseNames = [...]string{"pre-lock", "locked", "service", "pre-broadcast"}
+
+// String implements fmt.Stringer.
+func (ph FaultPhase) String() string {
+	if ph < 0 || int(ph) >= len(faultPhaseNames) {
+		return fmt.Sprintf("FaultPhase(%d)", int(ph))
+	}
+	return faultPhaseNames[ph]
+}
+
+// phase fires the FaultHook, if armed.
+func (o *OS) phase(ce *cluster.CE, ph FaultPhase) {
+	if o.FaultHook != nil {
+		o.FaultHook(ce, ph)
+	}
 }
 
 // New creates the OS for a machine.
@@ -253,8 +299,10 @@ func (o *OS) LockStall(clusterID int, span sim.Duration) {
 // InvalidateMappings unmaps every mapped page of every region for the
 // given cluster task (clusterID < 0: all cluster tasks), modeling a
 // paging storm — the pager reclaiming frames under memory pressure so
-// the application re-faults its working set. Pages currently mid-fault
-// are left untouched. It returns the number of mappings dropped.
+// the application re-faults its working set. It returns the number of
+// mappings dropped. A page whose fault is still in flight is not yet a
+// mapping: it is left alone, excluded from the count, and its service
+// completes normally (see Region.InvalidateMappings).
 func (o *OS) InvalidateMappings(clusterID int) int {
 	n := 0
 	for _, r := range o.regions {

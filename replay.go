@@ -1,0 +1,163 @@
+package cedar
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/faults/replay"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/perfect"
+	"repro/internal/sim"
+)
+
+// RecordScenario captures the fault-run inputs as a replayable
+// scenario: the app, configuration, timestep override, resolved kernel
+// seed, and fault plan. The seed is resolved (never left implicit) so
+// the recorded line keeps reproducing the run even if the default
+// derivation changes. The scenario assumes default values for the
+// options RecordScenario does not capture (chunking, tree barriers,
+// cost overrides).
+func RecordScenario(app perfect.App, cfg arch.Config, opts Options) replay.Scenario {
+	return replay.Scenario{
+		App:    app.Name,
+		Config: cfg.Name,
+		Steps:  opts.Steps,
+		Seed:   opts.seed(app, cfg),
+		Plan:   opts.Faults,
+	}
+}
+
+// ReplayErr re-runs a recorded fault scenario. The simulation kernel
+// is deterministic in virtual time, so a replay reproduces the
+// original run bit for bit: same schedule, same fault hand-offs, same
+// statfx accounting (see Run.StatfxText). Like SimulateRunErr it
+// returns the Run alongside the error when the simulation itself ran
+// but ended abnormally.
+func ReplayErr(sc replay.Scenario) (*Run, error) {
+	app, ok := perfect.ByName(sc.App)
+	if !ok {
+		return nil, fmt.Errorf("cedar: replay: unknown application %q", sc.App)
+	}
+	cfg, ok := arch.FamilyByName(sc.Config)
+	if !ok {
+		return nil, fmt.Errorf("cedar: replay: unknown configuration %q", sc.Config)
+	}
+	return SimulateRunErr(app, cfg, Options{Steps: sc.Steps, Seed: sc.Seed, Faults: sc.Plan})
+}
+
+// Outcome classifies a simulation error into the corpus expectation
+// vocabulary: replay.ExpectOK, replay.ExpectDeadlock, or
+// replay.ExpectError.
+func Outcome(err error) string {
+	switch {
+	case err == nil:
+		return replay.ExpectOK
+	case errors.Is(err, sim.ErrDeadlock):
+		return replay.ExpectDeadlock
+	default:
+		return replay.ExpectError
+	}
+}
+
+// CheckScenario replays a scenario and verifies its declared
+// expectation, returning the Run and a descriptive error when the
+// outcome differs (the error includes the simulation error, if any,
+// and the ready-to-paste scenario line).
+func CheckScenario(sc replay.Scenario) (*Run, error) {
+	run, err := ReplayErr(sc)
+	if got, want := Outcome(err), sc.Expectation(); got != want {
+		detail := ""
+		if err != nil {
+			detail = fmt.Sprintf(" (%v)", err)
+		}
+		return run, fmt.Errorf("cedar: scenario %q: outcome %s, want %s%s", sc, got, want, detail)
+	}
+	return run, nil
+}
+
+// FaultWindows runs the app healthy on the configuration with the
+// observability layer armed and returns the merged virtual-time
+// windows in which page faults were serviced. The schedule fuzzer
+// (replay.SweepTimes) aims fail-stops at these windows — the hand-off
+// races live inside them.
+func FaultWindows(app perfect.App, cfg arch.Config, opts Options) ([]replay.Window, error) {
+	opts.Faults = nil
+	if opts.Observe == nil {
+		opts.Observe = &obs.Options{SeriesInterval: -1}
+	}
+	run, err := SimulateRunErr(app, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	var ws []replay.Window
+	for _, sp := range run.Obs.Spans() {
+		if strings.HasPrefix(sp.Name, "pgflt") {
+			ws = append(ws, replay.Window{Start: sp.Start, End: sp.End})
+		}
+	}
+	return replay.MergeWindows(ws), nil
+}
+
+// ShrinkErr minimizes a failing scenario with the delta-debugging
+// shrinker: the result reproduces the same outcome class (deadlock, or
+// any error) with the fewest, plainest fault injections. It returns
+// the shrunk scenario and the number of candidate replays spent.
+// Shrinking a scenario that completes cleanly is an error — there is
+// nothing to reproduce.
+func ShrinkErr(sc replay.Scenario, maxRuns int) (replay.Scenario, int, error) {
+	_, err := ReplayErr(sc)
+	class := Outcome(err)
+	if class == replay.ExpectOK {
+		return sc, 1, fmt.Errorf("cedar: scenario %q completes cleanly; nothing to shrink", sc)
+	}
+	failing := func(cand replay.Scenario) bool {
+		if err := cand.Plan.Validate(mustConfig(cand.Config)); err != nil {
+			return false
+		}
+		_, err := ReplayErr(cand)
+		return Outcome(err) == class
+	}
+	shrunk, runs := replay.Shrink(sc, failing, maxRuns)
+	shrunk.Expect = class
+	return shrunk, runs + 1, nil
+}
+
+func mustConfig(name string) arch.Config {
+	cfg, ok := arch.FamilyByName(name)
+	if !ok {
+		panic(fmt.Sprintf("cedar: unknown configuration %q", name))
+	}
+	return cfg
+}
+
+// StatfxText renders the run's complete accounting — completion time,
+// exact and sampled concurrency, fault classification counters, the
+// Table-2 OS breakdown, and every CE's per-category account — as a
+// canonical text block. Two replays of the same scenario produce
+// byte-identical StatfxText; the replay regression suite and cedarfuzz
+// compare runs with it.
+func (r *Run) StatfxText() string {
+	res := r.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "app=%s config=%s ct=%d failed_ces=%d\n", res.App, res.Cfg.Name, res.CT, res.FailedCEs)
+	fmt.Fprintf(&b, "faults seq=%d conc=%d\n", r.OS.SeqFaults(), r.OS.ConcFaults())
+	fmt.Fprintf(&b, "concurrency sampled=%.9f", res.SampledConcurrency)
+	for c, v := range res.Concurrency {
+		fmt.Fprintf(&b, " c%d=%.9f", c, v)
+	}
+	b.WriteString("\n")
+	for c := metrics.OSCategory(0); c < metrics.NumOSCategories; c++ {
+		fmt.Fprintf(&b, "os %-14s time=%d count=%d\n", c, res.OS.Time[c], res.OS.Count[c])
+	}
+	for _, a := range res.Accounts {
+		fmt.Fprintf(&b, "ce%d", a.CE())
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			fmt.Fprintf(&b, " %s=%d", c, a.Get(c))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
