@@ -136,6 +136,28 @@ func BenchmarkEndToEnd_FLO52Sweep(b *testing.B) {
 	}
 }
 
+// BenchmarkPaperSweep times the full five-application paper sweep —
+// every table's raw material — through the parallel engine at fixed
+// worker counts. The parallel-1 sub-benchmark is the sequential
+// baseline; parallel-4 is what the CI benchmark job compares it
+// against (the wall-clock speedup gate lives in
+// TestParallelSweepSpeedup). The per-simulation virtual-time results
+// are identical at every worker count, so the sub-benchmarks measure
+// pure scheduling, not different work.
+func BenchmarkPaperSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ss := AllSweeps(Options{Parallel: workers})
+				if len(ss) != len(perfect.Apps()) {
+					b.Fatalf("AllSweeps returned %d sweeps", len(ss))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_Clustering compares the real clustered Cedar with
 // the hypothetical machine of 32 independent processors (Section 6:
 // "was clustering a good idea?"), in both granularity regimes.

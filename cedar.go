@@ -21,6 +21,7 @@ import (
 	"repro/internal/cfrt"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/hpm"
 	"repro/internal/metrics"
@@ -77,6 +78,14 @@ type Options struct {
 	// backlog, and the qmon split. Nil leaves observation off (the
 	// zero-cost path). The zero obs.Options value gives defaults.
 	Observe *obs.Options
+	// Parallel bounds how many independent simulations the batch
+	// helpers (Sweep, SweepConfigs, Sweeps, AllSweeps, FaultSweep,
+	// CheckCorpus) run concurrently. Zero uses GOMAXPROCS; 1 forces
+	// the sequential path. Parallelism is wall-clock only: every
+	// simulation owns its kernel and deterministic seed, and results
+	// are assembled in input order, so batch output is byte-identical
+	// at any setting (see internal/engine).
+	Parallel int
 }
 
 // defaultWatchdog is the deadlock-check period when
@@ -348,14 +357,10 @@ func (r *Run) TraceBundle() *obs.Bundle {
 // Sweep runs the app across the paper's five configurations and
 // normalizes seconds so the 1-processor completion time matches the
 // paper's (when the app is one of the five; synthetic apps keep
-// Scale 1).
+// Scale 1). The configurations run concurrently per Options.Parallel;
+// every result is identical to a sequential run's.
 func Sweep(app perfect.App, opts Options) *core.Sweep {
-	s := &core.Sweep{App: app.Name, Results: map[int]*core.Result{}}
-	for _, cfg := range arch.PaperConfigs() {
-		s.Results[cfg.CEs()] = Simulate(app, cfg, opts)
-	}
-	normalize(s)
-	return s
+	return SweepConfigs(app, arch.PaperConfigs(), opts)
 }
 
 // SweepConfigs runs the app across an arbitrary list of configurations
@@ -363,14 +368,50 @@ func Sweep(app perfect.App, opts Options) *core.Sweep {
 // scaling study), keyed by CE count like Sweep. When the list includes
 // a 1-processor configuration and the app has a published CT1 the same
 // paper normalization applies; otherwise seconds are raw model output
-// (Scale 1).
+// (Scale 1). Configurations run concurrently per Options.Parallel.
 func SweepConfigs(app perfect.App, cfgs []arch.Config, opts Options) *core.Sweep {
 	s := &core.Sweep{App: app.Name, Results: map[int]*core.Result{}}
-	for _, cfg := range cfgs {
-		s.Results[cfg.CEs()] = Simulate(app, cfg, opts)
+	results := engine.Map(opts.Parallel, cfgs, func(_ int, cfg arch.Config) *core.Result {
+		return Simulate(app, cfg, opts)
+	})
+	for i, cfg := range cfgs {
+		s.Results[cfg.CEs()] = results[i]
 	}
 	normalize(s)
 	return s
+}
+
+// Sweeps runs several applications' paper sweeps through one worker
+// pool: the application × configuration grid is flattened into
+// independent jobs, so a 4-worker pool stays busy even while one
+// application's slowest configuration trails. Results are assembled in
+// application order with each sweep normalized exactly as Sweep does.
+func Sweeps(apps []perfect.App, opts Options) []*core.Sweep {
+	cfgs := arch.PaperConfigs()
+	type job struct {
+		app int
+		cfg arch.Config
+	}
+	jobs := make([]job, 0, len(apps)*len(cfgs))
+	for a := range apps {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, job{app: a, cfg: cfg})
+		}
+	}
+	results := engine.Map(opts.Parallel, jobs, func(_ int, j job) *core.Result {
+		return Simulate(apps[j.app], j.cfg, opts)
+	})
+	out := make([]*core.Sweep, len(apps))
+	for a, app := range apps {
+		out[a] = &core.Sweep{App: app.Name, Results: map[int]*core.Result{}}
+	}
+	for i, j := range jobs {
+		out[j.app].Results[j.cfg.CEs()] = results[i]
+	}
+	for _, s := range out {
+		normalize(s)
+	}
+	return out
 }
 
 // normalize sets every result's Scale so that the sweep's 1-processor
@@ -412,20 +453,28 @@ type FaultReport struct {
 // 1-processor run supplies the contention base). Runs use the same
 // deterministic seeds as Simulate, so a sweep is reproducible run to
 // run. Baseline failures abort the sweep; per-plan failures are
-// recorded in the report and the sweep continues.
+// recorded in the report and the sweep continues. The two baselines
+// and the per-plan degraded runs each execute concurrently per
+// Options.Parallel, with reports ordered by plan index.
 func FaultSweep(app perfect.App, cfg arch.Config, plans []faults.Plan, opts Options) ([]*FaultReport, error) {
 	healthy := opts
 	healthy.Faults = nil
-	base1p, err := SimulateErr(app, arch.Cedar1, healthy)
-	if err != nil {
-		return nil, err
+	type baseOut struct {
+		res *core.Result
+		err error
 	}
-	baseline, err := SimulateErr(app, cfg, healthy)
-	if err != nil {
-		return nil, err
+	bases := engine.Map(opts.Parallel, []arch.Config{arch.Cedar1, cfg},
+		func(_ int, c arch.Config) baseOut {
+			res, err := SimulateErr(app, c, healthy)
+			return baseOut{res, err}
+		})
+	for _, b := range bases {
+		if b.err != nil {
+			return nil, b.err
+		}
 	}
-	var out []*FaultReport
-	for _, plan := range plans {
+	base1p, baseline := bases[0].res, bases[1].res
+	out := engine.Map(opts.Parallel, plans, func(_ int, plan faults.Plan) *FaultReport {
 		po := opts
 		po.Faults = plan
 		fr := &FaultReport{Plan: plan}
@@ -436,16 +485,13 @@ func FaultSweep(app perfect.App, cfg arch.Config, plans []faults.Plan, opts Opti
 		} else {
 			fr.Report, fr.Err = core.CompareDegraded(base1p, baseline, run.Result, plan.String())
 		}
-		out = append(out, fr)
-	}
+		return fr
+	})
 	return out, nil
 }
 
-// AllSweeps runs every paper application across every configuration.
+// AllSweeps runs every paper application across every configuration,
+// flattening the grid through one worker pool (see Sweeps).
 func AllSweeps(opts Options) []*core.Sweep {
-	var out []*core.Sweep
-	for _, app := range perfect.Apps() {
-		out = append(out, Sweep(app, opts))
-	}
-	return out
+	return Sweeps(perfect.Apps(), opts)
 }

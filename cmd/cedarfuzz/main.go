@@ -11,7 +11,7 @@
 //
 //	cedarfuzz [-corpus testdata/faultcorpus] [-quick] [-n 25]
 //	          [-seed S] [-app FLO52] [-config 8proc] [-steps 1]
-//	          [-shrink 60]
+//	          [-shrink 60] [-parallel N]
 //
 // Without -quick only the corpus is replayed (cheap, deterministic —
 // the CI regression gate). With -quick the randomized sweep runs too;
@@ -19,6 +19,12 @@
 // schedules, and is always printed so a failure can be reproduced by
 // re-running with -seed. Exit status: 0 all scenarios behaved, 1
 // otherwise, 2 bad invocation.
+//
+// Corpus replays and sweep scenarios are independent simulations and
+// run through the deterministic parallel engine; -parallel bounds the
+// worker count (default GOMAXPROCS, 1 forces sequential). Results are
+// reported in corpus/schedule order, so the gate's output and exit
+// status are identical at any setting.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	cedar "repro"
 	"repro/internal/arch"
+	"repro/internal/engine"
 	"repro/internal/faults/replay"
 	"repro/internal/perfect"
 )
@@ -47,15 +54,16 @@ func main() {
 	configName := flag.String("config", "8proc", "sweep: machine configuration")
 	steps := flag.Int("steps", 1, "sweep: timestep count")
 	shrinkRuns := flag.Int("shrink", 60, "max replays spent shrinking a failing scenario")
+	parallel := flag.Int("parallel", 0, "concurrent replays (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatalf(2, "unexpected arguments %v", flag.Args())
 	}
 
 	failures := 0
-	failures += replayCorpus(*corpusDir)
+	failures += replayCorpus(*corpusDir, *parallel)
 	if *quick {
-		failures += sweep(*appName, *configName, *steps, *seed, *n, *shrinkRuns)
+		failures += sweep(*appName, *configName, *steps, *seed, *n, *shrinkRuns, *parallel)
 	}
 	if failures > 0 {
 		fatalf(1, "%d scenario(s) misbehaved", failures)
@@ -64,8 +72,10 @@ func main() {
 
 // replayCorpus replays every checked-in scenario twice: the outcome
 // must match the entry's expectation and the two runs must produce
-// byte-identical statfx output (the record/replay contract).
-func replayCorpus(dir string) (failures int) {
+// byte-identical statfx output (the record/replay contract). Entries
+// run concurrently through the engine pool; results print in corpus
+// order.
+func replayCorpus(dir string, parallel int) (failures int) {
 	entries, err := replay.LoadCorpus(dir)
 	if err != nil {
 		fatalf(2, "%v", err)
@@ -74,25 +84,13 @@ func replayCorpus(dir string) (failures int) {
 		fmt.Printf("corpus %s: empty\n", dir)
 		return 0
 	}
-	for _, e := range entries {
-		run, err := cedar.CheckScenario(e.Scenario)
-		if err != nil {
+	for _, cr := range cedar.CheckCorpus(entries, parallel) {
+		if cr.Err != nil {
 			failures++
-			fmt.Fprintf(os.Stderr, "cedarfuzz: %s:%d: %v\n", e.File, e.Line, err)
+			fmt.Fprintf(os.Stderr, "cedarfuzz: %s:%d: %v\n", cr.Entry.File, cr.Entry.Line, cr.Err)
 			continue
 		}
-		if run != nil {
-			again, err := cedar.ReplayErr(e.Scenario)
-			if cedar.Outcome(err) != e.Scenario.Expectation() || again == nil ||
-				again.StatfxText() != run.StatfxText() {
-				failures++
-				fmt.Fprintf(os.Stderr,
-					"cedarfuzz: %s:%d: replay not bit-identical across two runs: %s\n",
-					e.File, e.Line, e.Scenario)
-				continue
-			}
-		}
-		fmt.Printf("corpus %s:%d: %s ok\n", e.File, e.Line, e.Scenario.Expectation())
+		fmt.Printf("corpus %s:%d: %s ok\n", cr.Entry.File, cr.Entry.Line, cr.Entry.Scenario.Expectation())
 	}
 	fmt.Printf("corpus %s: %d scenario(s), %d failure(s)\n", dir, len(entries), failures)
 	return failures
@@ -100,8 +98,9 @@ func replayCorpus(dir string) (failures int) {
 
 // sweep fuzzes fail-stop schedules across the page-fault windows of a
 // healthy run. Failing scenarios are shrunk and printed as corpus
-// lines.
-func sweep(appName, configName string, steps int, seed int64, n, shrinkRuns int) (failures int) {
+// lines. Scenarios (including any shrinking, which is per-scenario
+// deterministic) run concurrently; results print in schedule order.
+func sweep(appName, configName string, steps int, seed int64, n, shrinkRuns, parallel int) (failures int) {
 	app, ok := perfect.ByName(appName)
 	if !ok {
 		fatalf(2, "unknown application %q", appName)
@@ -135,25 +134,40 @@ func sweep(appName, configName string, steps int, seed int64, n, shrinkRuns int)
 		ces = append(ces, ce)
 	}
 	base := cedar.RecordScenario(app, cfg, opts)
-	for i, sc := range replay.SweepTimes(base, windows, ces, cfg.GMModules, seed, n) {
+	scenarios := replay.SweepTimes(base, windows, ces, cfg.GMModules, seed, n)
+	for _, sc := range scenarios {
 		if err := sc.Plan.Validate(cfg); err != nil {
 			fatalf(1, "sweep generated an invalid plan: %v", err)
 		}
-		_, err := cedar.ReplayErr(sc)
-		if err == nil {
-			fmt.Printf("sweep %3d/%d: ok  %s\n", i+1, n, sc.Plan)
+	}
+	type outcome struct {
+		sc     replay.Scenario
+		err    error
+		shrunk replay.Scenario
+		runs   int
+		serr   error
+	}
+	results := engine.Map(parallel, scenarios, func(_ int, sc replay.Scenario) outcome {
+		o := outcome{sc: sc}
+		if _, o.err = cedar.ReplayErr(sc); o.err != nil {
+			o.shrunk, o.runs, o.serr = cedar.ShrinkErr(sc, shrinkRuns)
+		}
+		return o
+	})
+	for i, o := range results {
+		if o.err == nil {
+			fmt.Printf("sweep %3d/%d: ok  %s\n", i+1, n, o.sc.Plan)
 			continue
 		}
 		failures++
 		fmt.Fprintf(os.Stderr, "cedarfuzz: sweep %d/%d FAILED (%v)\n  scenario: %s\n",
-			i+1, n, err, sc)
-		shrunk, runs, serr := cedar.ShrinkErr(sc, shrinkRuns)
-		if serr != nil {
-			fmt.Fprintf(os.Stderr, "  shrink failed: %v\n", serr)
+			i+1, n, o.err, o.sc)
+		if o.serr != nil {
+			fmt.Fprintf(os.Stderr, "  shrink failed: %v\n", o.serr)
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "  shrunk (%d replays): %s\n  add it to the corpus with a comment naming the bug\n",
-			runs, shrunk)
+			o.runs, o.shrunk)
 	}
 	return failures
 }

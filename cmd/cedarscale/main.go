@@ -8,7 +8,13 @@
 // Usage:
 //
 //	cedarscale [-app FLO52] [-configs 32proc,64proc,128proc,256proc]
-//	           [-steps N] [-weak] [-csv]
+//	           [-steps N] [-weak] [-csv] [-parallel N]
+//
+// The study's runs — one 1-processor base per distinct problem size
+// plus one run per machine — are independent simulations and execute
+// through the deterministic parallel engine; -parallel bounds the
+// worker count (default GOMAXPROCS). Rows are assembled in -configs
+// order, so the report is identical at any setting.
 //
 // By default the run is a strong-scaling study: the same
 // paper-calibrated application on ever larger machines, so the fixed
@@ -32,6 +38,7 @@ import (
 	cedar "repro"
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/perfect"
 )
 
@@ -50,6 +57,7 @@ func main() {
 	steps := flag.Int("steps", 0, "override timestep count (0 = app default)")
 	weak := flag.Bool("weak", false, "weak-scale the problem by ceil(CEs/32) per machine")
 	csv := flag.Bool("csv", false, "emit the study as CSV")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	flag.Parse()
 
 	app, ok := perfect.ByName(*appName)
@@ -80,7 +88,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := cedar.Options{Steps: *steps}
+	opts := cedar.Options{Steps: *steps, Parallel: *parallel}
 	mode := "strong"
 	if *weak {
 		mode = "weak"
@@ -91,15 +99,30 @@ func main() {
 
 	// One 1-processor base per distinct problem size: strong scaling
 	// shares a single base; weak scaling needs one per scale factor so
-	// Ov_cont compares each machine against its own problem.
-	bases := map[int]*core.Result{}
-	baseFor := func(factor int) *core.Result {
-		if b, ok := bases[factor]; ok {
-			return b
+	// Ov_cont compares each machine against its own problem. The
+	// factors are known up front, so the bases run as one parallel
+	// batch (factor 1 is always included: it anchors the paper
+	// normalization below).
+	factorOf := func(cfg arch.Config) int {
+		if *weak {
+			return perfect.ScaleFactorFor(cfg.CEs())
 		}
-		b := cedar.Simulate(app.Scaled(factor), arch.Cedar1, opts)
-		bases[factor] = b
-		return b
+		return 1
+	}
+	factors := []int{1}
+	seen := map[int]bool{1: true}
+	for _, cfg := range cfgs {
+		if f := factorOf(cfg); !seen[f] {
+			seen[f] = true
+			factors = append(factors, f)
+		}
+	}
+	baseResults := engine.Map(*parallel, factors, func(_ int, f int) *core.Result {
+		return cedar.Simulate(app.Scaled(f), arch.Cedar1, opts)
+	})
+	bases := map[int]*core.Result{}
+	for i, f := range factors {
+		bases[f] = baseResults[i]
 	}
 
 	// Normalize seconds the way Sweep does — the unscaled 1-processor
@@ -108,26 +131,22 @@ func main() {
 	// sizes in weak mode.
 	scale := 1.0
 	if paper := perfect.PaperCT1(app.Name); paper > 0 {
-		if raw := arch.Seconds(int64(baseFor(1).CT)); raw > 0 {
+		if raw := arch.Seconds(int64(bases[1].CT)); raw > 0 {
 			scale = paper / raw
 		}
 	}
 
-	var rows []row
-	for _, cfg := range cfgs {
-		factor := 1
-		if *weak {
-			factor = perfect.ScaleFactorFor(cfg.CEs())
-		}
-		base := baseFor(factor)
+	rows := engine.Map(*parallel, cfgs, func(_ int, cfg arch.Config) row {
+		factor := factorOf(cfg)
+		base := bases[factor]
 		res := cedar.Simulate(app.Scaled(factor), cfg, opts)
 		res.Scale = scale
 		r := row{cfg: cfg, res: res, speedup: res.Speedup(base), ovCont: -1}
 		if cont, err := core.ContentionOverhead(base, res); err == nil {
 			r.ovCont = cont.OvCont
 		}
-		rows = append(rows, r)
-	}
+		return r
+	})
 
 	if *csv {
 		fmt.Println("app,mode,config,ces,ct_seconds,speedup,concurrency,os_share_pct,barrier_pct,ov_cont_pct")

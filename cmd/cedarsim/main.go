@@ -14,6 +14,15 @@
 //	         [-record-scenario corpus.scenario]
 //	         [-replay 'app=FLO52 config=8proc ... plan=ce:1@76414']
 //	         [-trace out.json] [-profile out.folded] [-series out.csv|out.prom]
+//	         [-parallel N]
+//
+// Independent simulations within one invocation — the measured run and
+// its 1-processor baseline, the healthy/degraded pair of a -fault
+// comparison, and every scenario of a -replay corpus file — execute
+// through the deterministic parallel engine; -parallel bounds the
+// worker count (default GOMAXPROCS, 1 forces sequential). Each
+// simulation owns its kernel and seed, so the printed report is
+// identical at any setting.
 //
 // The machine defaults to the paper configuration selected by -ces
 // (1, 4, 8, 16, or 32 — the closed list the paper measures). -config
@@ -51,6 +60,7 @@ import (
 	cedar "repro"
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/faults/replay"
 	"repro/internal/metrics"
@@ -119,6 +129,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
 	profilePath := flag.String("profile", "", "write a folded-stack profile weighted by virtual cycles")
 	seriesPath := flag.String("series", "", "write the sampled time series (CSV, or Prometheus text if *.prom)")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	flag.Parse()
 
 	if *listConfigs {
@@ -128,7 +139,7 @@ func main() {
 	if *replayArg != "" {
 		// A scenario carries its own app, config, steps, and seed; the
 		// selection flags do not apply to a replay.
-		runReplay(*replayArg)
+		runReplay(*replayArg, *parallel)
 		return
 	}
 	if *recordPath != "" && *faultSpec == "" {
@@ -220,7 +231,7 @@ func main() {
 		}
 	}
 
-	opts := cedar.Options{Steps: *steps, XdoallChunk: *chunk, TreeFanout: *tree}
+	opts := cedar.Options{Steps: *steps, XdoallChunk: *chunk, TreeFanout: *tree, Parallel: *parallel}
 	exp := exporter{trace: *tracePath, profile: *profilePath, series: *seriesPath}
 	if exp.enabled() {
 		// Arm the obs layer; the trace export also needs the hpm
@@ -236,13 +247,21 @@ func main() {
 		return
 	}
 
-	runX := cedar.SimulateRun(app, cfg, opts)
+	// The measured run and the 1-processor baseline are independent
+	// simulations; run them through the engine pool.
+	var runX *cedar.Run
+	var base *core.Result
+	jobs := []func(){
+		func() { runX = cedar.SimulateRun(app, cfg, opts) },
+	}
+	if !*noBase && cfg.CEs() > 1 {
+		jobs = append(jobs, func() { base = cedar.Simulate(app, arch.Cedar1, opts) })
+	}
+	engine.Do(*parallel, jobs...)
 	res := runX.Result
 	exp.write(runX)
 
-	var base *core.Result
-	if !*noBase && cfg.CEs() > 1 {
-		base = cedar.Simulate(app, arch.Cedar1, opts)
+	if base != nil {
 		// Normalize both to the paper's CT1 for readable seconds.
 		if paper := perfect.PaperCT1(app.Name); paper > 0 {
 			scale := paper / arch.Seconds(int64(base.CT))
@@ -366,20 +385,18 @@ func (e exporter) toFile(path string, fn func(*os.File) error) {
 }
 
 // runReplay re-runs one recorded scenario — or every scenario in a
-// corpus file — and verifies each declared expectation. Exit status 1
-// when any scenario misses its expectation.
-func runReplay(arg string) {
-	type item struct {
-		sc    replay.Scenario
-		where string
-	}
-	var items []item
+// corpus file — and verifies each declared expectation (each replayed
+// twice for bit-identity, concurrently per -parallel, reported in
+// corpus order). Exit status 1 when any scenario misses its
+// expectation.
+func runReplay(arg string, parallel int) {
+	var entries []replay.CorpusEntry
 	if strings.Contains(arg, "plan=") {
 		sc, err := replay.Parse(arg)
 		if err != nil {
 			usageErr("%v", err)
 		}
-		items = append(items, item{sc, "command line"})
+		entries = append(entries, replay.CorpusEntry{Scenario: sc, File: "command line"})
 	} else {
 		data, err := os.ReadFile(arg)
 		if err != nil {
@@ -394,31 +411,34 @@ func runReplay(arg string) {
 			if err != nil {
 				usageErr("%s:%d: %v", arg, i+1, err)
 			}
-			items = append(items, item{sc, fmt.Sprintf("%s:%d", arg, i+1)})
+			entries = append(entries, replay.CorpusEntry{Scenario: sc, File: arg, Line: i + 1})
 		}
-		if len(items) == 0 {
+		if len(entries) == 0 {
 			usageErr("-replay %s: no scenarios in file", arg)
 		}
 	}
 	failed := 0
-	for _, it := range items {
-		fmt.Printf("replay %s\n  %s\n", it.where, it.sc)
-		run, err := cedar.CheckScenario(it.sc)
-		if err != nil {
+	for _, cr := range cedar.CheckCorpus(entries, parallel) {
+		where := cr.Entry.File
+		if cr.Entry.Line > 0 {
+			where = fmt.Sprintf("%s:%d", cr.Entry.File, cr.Entry.Line)
+		}
+		fmt.Printf("replay %s\n  %s\n", where, cr.Entry.Scenario)
+		if cr.Err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+			fmt.Fprintf(os.Stderr, "cedarsim: %v\n", cr.Err)
 			continue
 		}
-		if run != nil && it.sc.Expectation() == replay.ExpectOK {
+		if cr.Run != nil && cr.Entry.Scenario.Expectation() == replay.ExpectOK {
 			fmt.Printf("  outcome: ok (ct=%d, seq faults=%d, conc faults=%d)\n",
-				int64(run.Result.CT), run.OS.SeqFaults(), run.OS.ConcFaults())
+				int64(cr.Run.Result.CT), cr.Run.OS.SeqFaults(), cr.Run.OS.ConcFaults())
 		} else {
-			fmt.Printf("  outcome: %s, as expected\n", it.sc.Expectation())
+			fmt.Printf("  outcome: %s, as expected\n", cr.Entry.Scenario.Expectation())
 		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "cedarsim: %d of %d scenario(s) missed their expectation\n",
-			failed, len(items))
+			failed, len(entries))
 		os.Exit(1)
 	}
 }

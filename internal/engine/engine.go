@@ -1,0 +1,104 @@
+// Package engine is the deterministic worker pool behind every sweep
+// surface of the repository: the paper's five-application ×
+// five-configuration tables, scaling studies, fault sweeps, and replay
+// corpus checks are all batches of fully independent simulations, and
+// this package runs such a batch on a bounded set of goroutines.
+//
+// Determinism contract: each job must be self-contained — in this
+// repository every simulation owns its kernel, its deterministic seed,
+// and all of its model state, and shares only immutable tables — so
+// the virtual-time result of a job cannot depend on scheduling.
+// Results are delivered in input-index order, which means concurrent
+// output is byte-identical to a sequential run: parallelism here buys
+// wall-clock time only and can never perturb a measurement.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a concurrency knob: n when positive, otherwise
+// GOMAXPROCS. This is the shared default behind every -parallel flag.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i, items[i]) for every item on at most Workers(workers)
+// goroutines and returns the results ordered by input index. Jobs are
+// claimed from a shared counter, so long and short jobs pack onto the
+// pool without a static partition. With one worker (or one item) Map
+// degenerates to a plain loop on the calling goroutine.
+//
+// A panic in any job stops the pool from claiming further jobs and is
+// re-raised on the calling goroutine once in-flight jobs finish, which
+// preserves the sequential path's failure semantics (facades that want
+// errors already wrap simulations in their Err variants).
+func Map[T, R any](workers int, items []T, fn func(int, T) R) []R {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	out := make([]R, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, item := range items {
+			out[i] = fn(i, item)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !panicked.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if !panicked.Load() {
+								panicVal = r
+								panicked.Store(true)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(i, items[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return out
+}
+
+// Do runs every thunk on the pool and waits for all of them — Map for
+// heterogeneous jobs that write their own results.
+func Do(workers int, thunks ...func()) {
+	Map(workers, thunks, func(_ int, fn func()) struct{} {
+		fn()
+		return struct{}{}
+	})
+}

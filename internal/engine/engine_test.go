@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsByInputIndex(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		got := Map(workers, items, func(i, v int) string {
+			// Uneven job durations shuffle completion order on purpose.
+			if v%3 == 0 {
+				time.Sleep(time.Duration(v%5) * time.Millisecond)
+			}
+			return fmt.Sprintf("%d:%d", i, v*v)
+		})
+		for i, v := range items {
+			if want := fmt.Sprintf("%d:%d", i, v*v); got[i] != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	items := []int{5, 3, 8, 1, 9, 2, 7}
+	fn := func(i, v int) int { return i*1000 + v }
+	seq := Map(1, items, fn)
+	par := Map(4, items, fn)
+	for i := range items {
+		if seq[i] != par[i] {
+			t.Fatalf("parallel result diverged at %d: %d vs %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(8, nil, func(i, v int) int { return v }); got != nil {
+		t.Fatalf("empty Map = %v, want nil", got)
+	}
+	got := Map(8, []int{42}, func(i, v int) int { return v + i })
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single Map = %v", got)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	Map(workers, make([]struct{}, 64), func(i int, _ struct{}) struct{} {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}
+	})
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds the %d-worker bound", got, workers)
+	}
+}
+
+func TestMapDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := Workers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: job panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: panic value = %v, want boom", workers, r)
+				}
+			}()
+			Map(workers, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(i, v int) int {
+				if v == 3 {
+					panic("boom")
+				}
+				return v
+			})
+		}()
+	}
+}
+
+func TestMapPanicStopsClaimingJobs(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		Map(2, make([]int, 1000), func(i, v int) int {
+			if i == 0 {
+				panic("early")
+			}
+			ran.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			return v
+		})
+	}()
+	if got := ran.Load(); got > 100 {
+		t.Fatalf("pool kept claiming jobs after a panic: %d ran", got)
+	}
+}
+
+func TestDoRunsAllThunks(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(2,
+		func() { a.Store(true) },
+		func() { b.Store(true) },
+		func() { c.Store(true) },
+	)
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do skipped a thunk")
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelScheduleHold measures the kernel's hot path: a
+// process advancing virtual time one Hold at a time, each Hold costing
+// one pooled event node, one 4-ary heap push/pop, and one coroutine
+// hand-off. The allocation report is the contract — steady-state
+// Schedule/Hold must be 0 allocs/op — and the events/sec metric is the
+// kernel's raw dispatch throughput.
+func BenchmarkKernelScheduleHold(b *testing.B) {
+	k := NewKernel(1)
+	k.Spawn("bench", func(p *Proc) {
+		for {
+			p.Hold(1)
+		}
+	})
+	k.Run(1024) // warm up the node pool before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(1024 + Time(b.N))
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	k.Shutdown()
+}
+
+// BenchmarkKernelScheduleCancel measures the eager cancel path:
+// schedule a far-future event and remove it from the middle of a
+// populated heap. Also 0 allocs/op once the pool is warm.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	// A standing population so cancels exercise real sift work.
+	for i := 0; i < 256; i++ {
+		k.Schedule(Time(1_000_000+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := k.Schedule(Time(500_000+i%1024), fn)
+		e.Cancel()
+	}
+}
+
+// BenchmarkKernelManyProcs measures dispatch with a crowd of
+// interleaved holders — the shape of a 32-CE simulation step.
+func BenchmarkKernelManyProcs(b *testing.B) {
+	k := NewKernel(1)
+	const procs = 32
+	for i := 0; i < procs; i++ {
+		d := Duration(1 + i%7)
+		k.Spawn("ce", func(p *Proc) {
+			for {
+				p.Hold(d)
+			}
+		})
+	}
+	k.Run(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired := k.Run(1024 + Time(b.N))
+	b.StopTimer()
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+	k.Shutdown()
+}
+
+// BenchmarkCalendarReserve measures the conveyor-reservation primitive
+// behind every memory-module and network-port booking: it must stay a
+// handful of arithmetic ops and 0 allocs/op.
+func BenchmarkCalendarReserve(b *testing.B) {
+	c := NewCalendar("module")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var at Time
+	for i := 0; i < b.N; i++ {
+		// Alternate contended and idle arrivals.
+		_, end := c.Reserve(at, 3)
+		if i%2 == 0 {
+			at = end + 2
+		}
+	}
+}

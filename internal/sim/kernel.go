@@ -11,10 +11,17 @@
 // simulation are immune to Go runtime effects (GC pauses, scheduler
 // jitter) — the property that makes this substrate suitable for
 // reproducing a hardware measurement study.
+//
+// The event core is allocation-free in the steady state: event nodes
+// live in a kernel-owned free list and are recycled the moment they
+// fire or are canceled, the pending queue is an inlined 4-ary min-heap
+// of typed nodes (no container/heap interface{} boxing), and process
+// wake-ups carry the *Proc directly instead of a per-wake closure.
+// Schedule/Hold in a warmed-up simulation therefore performs zero heap
+// allocations per operation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -29,48 +36,56 @@ type Duration = Time
 // Forever is a time later than any event a simulation will schedule.
 const Forever Time = 1<<62 - 1
 
-// Event is a scheduled callback. It can be canceled before it fires.
-type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	fired    bool
+// eventNode is a pooled entry of the kernel's pending-event heap. A
+// node belongs to its kernel for the kernel's whole lifetime: when the
+// event fires or is canceled the node goes back on the free list and
+// its generation is bumped, which invalidates every outstanding Event
+// handle that still points at it.
+type eventNode struct {
+	k    *Kernel
+	at   Time
+	seq  uint64
+	gen  uint64
+	pos  int32  // index in the heap; -1 when not queued
+	proc *Proc  // wake target (the closure-free hot path), or nil
+	fn   func() // callback when proc is nil
 }
 
-// Time returns the virtual time at which the event fires (or would
-// have fired, if canceled).
-func (e *Event) Time() Time { return e.at }
+// Event is a cancelable handle to a scheduled callback. It is a value
+// (returning one performs no allocation) stamped with the node's
+// generation: once the event has fired or been canceled the handle
+// goes stale and every operation on it is a no-op, even if the kernel
+// has recycled the underlying node for a new event. The zero Event is
+// valid and permanently stale.
+type Event struct {
+	n   *eventNode
+	gen uint64
+	at  Time
+}
 
-// Cancel prevents the event from firing. Canceling an event that has
-// already fired or was already canceled is a no-op. It reports whether
-// the cancellation took effect.
-func (e *Event) Cancel() bool {
-	if e.fired || e.canceled {
+// Time returns the virtual time at which the event fires (or fired, or
+// would have fired had it not been canceled).
+func (e Event) Time() Time { return e.at }
+
+// Pending reports whether the event is still queued to fire.
+func (e Event) Pending() bool {
+	return e.n != nil && e.n.gen == e.gen && e.n.pos >= 0
+}
+
+// Cancel prevents the event from firing. The event is removed from the
+// pending queue immediately — a canceled far-future event costs
+// nothing until its fire time — and its node is recycled. Canceling an
+// event that has already fired or was already canceled is a no-op. It
+// reports whether the cancellation took effect.
+func (e Event) Cancel() bool {
+	n := e.n
+	if n == nil || n.gen != e.gen || n.pos < 0 {
 		return false
 	}
-	e.canceled = true
+	k := n.k
+	k.heapRemove(int(n.pos))
+	k.recycle(n)
 	return true
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // Kernel is a discrete-event simulation kernel. The zero value is not
@@ -78,7 +93,8 @@ func (h *eventHeap) Pop() interface{} {
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []*eventNode // 4-ary min-heap ordered by (at, seq)
+	free    []*eventNode // recycled nodes, ready for reuse
 	running *Proc
 	yielded chan struct{}
 	procs   []*Proc
@@ -99,12 +115,10 @@ type Kernel struct {
 // NewKernel returns a kernel with its virtual clock at zero and a
 // deterministic random source seeded with seed.
 func NewKernel(seed int64) *Kernel {
-	k := &Kernel{
+	return &Kernel{
 		yielded: make(chan struct{}),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
-	heap.Init(&k.events)
-	return k
 }
 
 // Now returns the current virtual time.
@@ -117,25 +131,144 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // EventsFired returns the number of events dispatched so far.
 func (k *Kernel) EventsFired() uint64 { return k.dispatched }
 
+// PendingEvents returns the number of events currently queued. Since
+// canceled events are removed eagerly, every pending event will fire.
+func (k *Kernel) PendingEvents() int { return len(k.heap) }
+
+// alloc takes a node from the free list, or mints one on first use.
+func (k *Kernel) alloc() *eventNode {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &eventNode{k: k, pos: -1}
+}
+
+// recycle invalidates every outstanding handle to the node and returns
+// it to the free list.
+func (k *Kernel) recycle(e *eventNode) {
+	e.gen++
+	e.fn = nil
+	e.proc = nil
+	e.pos = -1
+	k.free = append(k.free, e)
+}
+
 // Schedule registers fn to run at absolute virtual time at. Scheduling
 // in the past is an error and panics: the kernel's clock never runs
 // backwards.
-func (k *Kernel) Schedule(at Time, fn func()) *Event {
+func (k *Kernel) Schedule(at Time, fn func()) Event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, k.now))
 	}
-	e := &Event{at: at, seq: k.seq, fn: fn}
+	e := k.alloc()
+	e.at, e.seq, e.fn = at, k.seq, fn
 	k.seq++
-	heap.Push(&k.events, e)
-	return e
+	k.heapPush(e)
+	return Event{n: e, gen: e.gen, at: at}
+}
+
+// scheduleProc registers a wake-up for p at absolute time at. This is
+// the closure-free hot path behind Hold, Yield, Spawn, and wake: the
+// node carries the *Proc directly and the dispatch loop resumes it
+// without any intermediate func value.
+func (k *Kernel) scheduleProc(at Time, p *Proc) {
+	e := k.alloc()
+	e.at, e.seq, e.proc = at, k.seq, p
+	k.seq++
+	k.heapPush(e)
 }
 
 // After registers fn to run d cycles from now.
-func (k *Kernel) After(d Duration, fn func()) *Event {
+func (k *Kernel) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	return k.Schedule(k.now+d, fn)
+}
+
+// less orders the heap by (time, insertion sequence) — the total event
+// order that makes simulations deterministic.
+func less(a, b *eventNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts a node into the 4-ary min-heap.
+func (k *Kernel) heapPush(e *eventNode) {
+	k.heap = append(k.heap, e)
+	k.siftUp(len(k.heap) - 1)
+}
+
+// heapRemove deletes the node at index i, preserving the heap order.
+func (k *Kernel) heapRemove(i int) *eventNode {
+	h := k.heap
+	n := h[i]
+	last := len(h) - 1
+	moved := h[last]
+	h[last] = nil
+	k.heap = h[:last]
+	if i < last {
+		k.heap[i] = moved
+		moved.pos = int32(i)
+		k.siftDown(i)
+		if moved.pos == int32(i) {
+			k.siftUp(i)
+		}
+	}
+	n.pos = -1
+	return n
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !less(e, p) {
+			break
+		}
+		h[i] = p
+		p.pos = int32(i)
+		i = parent
+	}
+	h[i] = e
+	e.pos = int32(i)
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	e := h[i]
+	size := len(h)
+	for {
+		first := i<<2 + 1
+		if first >= size {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > size {
+			end = size
+		}
+		for c := first + 1; c < end; c++ {
+			if less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !less(h[best], e) {
+			break
+		}
+		h[i] = h[best]
+		h[i].pos = int32(i)
+		i = best
+	}
+	h[i] = e
+	e.pos = int32(i)
 }
 
 // Run processes events in time order until the event queue is empty or
@@ -159,24 +292,30 @@ func (k *Kernel) Run(until Time) uint64 {
 // remaining processes.
 func (k *Kernel) RunErr(until Time) (uint64, error) {
 	var fired uint64
-	for len(k.events) > 0 {
-		next := k.events[0]
+	for len(k.heap) > 0 {
+		next := k.heap[0]
 		if next.at > until {
 			break
 		}
 		if k.maxCycles > 0 && next.at > k.maxCycles {
 			return fired, &CycleBudgetError{Budget: k.maxCycles, Now: k.now, Live: k.live}
 		}
-		heap.Pop(&k.events)
-		if next.canceled {
-			continue
-		}
 		if next.at < k.now {
 			panic("sim: event queue time went backwards")
 		}
+		k.heapRemove(0)
 		k.now = next.at
-		next.fired = true
-		next.fn()
+		// Recycle before dispatch: the node is free for reuse by
+		// anything the callback schedules, and the generation bump
+		// makes the fired event's handles stale exactly as firing
+		// used to.
+		p, fn := next.proc, next.fn
+		k.recycle(next)
+		if p != nil {
+			k.resume(p)
+		} else {
+			fn()
+		}
 		fired++
 		k.dispatched++
 		if k.fatal != nil {
@@ -266,15 +405,9 @@ func (k *Kernel) deadlockError() *DeadlockError {
 	return e
 }
 
-// Idle reports whether no events are pending.
-func (k *Kernel) Idle() bool {
-	for _, e := range k.events {
-		if !e.canceled {
-			return false
-		}
-	}
-	return true
-}
+// Idle reports whether no events are pending. Canceled events leave
+// the queue immediately, so an idle kernel holds no dead entries.
+func (k *Kernel) Idle() bool { return len(k.heap) == 0 }
 
 // LiveProcs returns the number of spawned processes that have not yet
 // finished.
@@ -322,7 +455,7 @@ func (k *Kernel) wake(p *Proc) {
 		panic("sim: wake of non-blocked proc " + p.name)
 	}
 	p.state = stateScheduled
-	k.Schedule(k.now, func() { k.resume(p) })
+	k.scheduleProc(k.now, p)
 }
 
 // resume transfers control to p and waits for it to yield back.
@@ -357,7 +490,7 @@ func (k *Kernel) Abort(p *Proc) {
 		// Wake it now; yield() sees the aborted flag and panics
 		// ErrAborted inside the primitive it was sleeping in.
 		p.state = stateScheduled
-		k.Schedule(k.now, func() { k.resume(p) })
+		k.scheduleProc(k.now, p)
 	}
 	// stateNew / stateScheduled: a start or wake event is already
 	// pending; the aborted flag is checked on resume.

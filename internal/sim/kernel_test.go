@@ -285,3 +285,119 @@ func TestQuickHoldSum(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCancelRemovesEventEagerly(t *testing.T) {
+	k := NewKernel(1)
+	e := k.Schedule(1_000_000, func() { t.Error("canceled event fired") })
+	if !e.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	if k.PendingEvents() != 1 {
+		t.Fatalf("pending events = %d, want 1", k.PendingEvents())
+	}
+	if !e.Cancel() {
+		t.Fatal("Cancel returned false")
+	}
+	// The eager-drop contract: a canceled far-future event leaves the
+	// queue immediately instead of riding along until its fire time.
+	if k.PendingEvents() != 0 {
+		t.Fatalf("canceled event retained: %d pending", k.PendingEvents())
+	}
+	if !k.Idle() {
+		t.Fatal("kernel not idle after cancel")
+	}
+	if e.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+	k.RunAll()
+}
+
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	k := NewKernel(1)
+	e1 := k.Schedule(10, func() {})
+	k.RunAll()
+	// e1's node is back on the free list; the next Schedule reuses it.
+	e2 := k.Schedule(20, func() {})
+	if e1.Cancel() {
+		t.Fatal("stale handle canceled a recycled event")
+	}
+	if e1.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if got := e1.Time(); got != 10 {
+		t.Fatalf("stale handle Time = %d, want the original 10", got)
+	}
+	if !e2.Pending() {
+		t.Fatal("live event lost its pending state")
+	}
+	if !e2.Cancel() {
+		t.Fatal("live handle failed to cancel")
+	}
+}
+
+func TestZeroEventIsStale(t *testing.T) {
+	var e Event
+	if e.Pending() {
+		t.Fatal("zero Event pending")
+	}
+	if e.Cancel() {
+		t.Fatal("zero Event canceled")
+	}
+}
+
+func TestCancelInterleavedKeepsOrder(t *testing.T) {
+	// Canceling from the middle of the heap must not disturb the
+	// (time, seq) total order of the survivors.
+	k := NewKernel(1)
+	var events []Event
+	var got []int
+	for i := 0; i < 64; i++ {
+		i := i
+		events = append(events, k.Schedule(Time(97*i%31), func() { got = append(got, 97*i%31) }))
+	}
+	for i := 0; i < 64; i += 3 {
+		events[i].Cancel()
+	}
+	k.RunAll()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order after cancels: %v", got)
+		}
+	}
+	if want := 64 - 22; len(got) != want {
+		t.Fatalf("fired %d events, want %d", len(got), want)
+	}
+}
+
+func TestScheduleHoldSteadyStateZeroAllocs(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("holder", func(p *Proc) {
+		for {
+			p.Hold(1)
+		}
+	})
+	k.Run(64) // warm up: mint the pooled nodes
+	allocs := testing.AllocsPerRun(200, func() {
+		k.Run(k.Now() + 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Hold loop allocates %.1f per Run slice, want 0", allocs)
+	}
+	k.Shutdown()
+}
+
+func TestHoldUntilOutsideProcessPanics(t *testing.T) {
+	k := NewKernel(1)
+	var proc *Proc
+	k.Spawn("p", func(p *Proc) { proc = p; p.Hold(10) })
+	k.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HoldUntil from outside the process did not panic")
+		}
+		k.Shutdown()
+	}()
+	// Regression: this used to silently no-op when t was not in the
+	// future, where Hold/Yield panic.
+	proc.HoldUntil(0)
+}

@@ -70,7 +70,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 	p.state = stateScheduled
-	k.Schedule(k.now, func() { k.resume(p) })
+	k.scheduleProc(k.now, p)
 	k.armWatchdog()
 	return p
 }
@@ -135,13 +135,15 @@ func (p *Proc) Hold(d Duration) {
 	}
 	p.holdTotal += d
 	p.state = stateScheduled
-	p.k.Schedule(p.k.now+d, func() { p.k.resume(p) })
+	p.k.scheduleProc(p.k.now+d, p)
 	p.yield()
 }
 
 // HoldUntil advances the process to absolute time t (no-op if t is not
-// in the future).
+// in the future). Like Hold and Yield it must be called from the
+// process's own body, even when it would not advance time.
 func (p *Proc) HoldUntil(t Time) {
+	p.checkRunning("HoldUntil")
 	if t > p.k.now {
 		p.Hold(t - p.k.now)
 	}
@@ -152,7 +154,7 @@ func (p *Proc) HoldUntil(t Time) {
 func (p *Proc) Yield() {
 	p.checkRunning("Yield")
 	p.state = stateScheduled
-	p.k.Schedule(p.k.now, func() { p.k.resume(p) })
+	p.k.scheduleProc(p.k.now, p)
 	p.yield()
 }
 

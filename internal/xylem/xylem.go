@@ -60,7 +60,7 @@ type OS struct {
 
 	pending    [][]pendingCharge // per global CE id
 	regions    []*Region
-	tickEvents []*sim.Event
+	tickEvents []sim.Event
 	stopped    bool
 
 	// Event counters beyond Brk (fault classification).

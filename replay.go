@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/engine"
 	"repro/internal/faults/replay"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -76,6 +77,43 @@ func CheckScenario(sc replay.Scenario) (*Run, error) {
 		return run, fmt.Errorf("cedar: scenario %q: outcome %s, want %s%s", sc, got, want, detail)
 	}
 	return run, nil
+}
+
+// CorpusResult is one corpus entry's verification outcome from
+// CheckCorpus. Err is set when the entry misbehaved — the outcome
+// missed its declared expectation, or two replays were not
+// bit-identical. Run carries the first replay for inspection.
+type CorpusResult struct {
+	Entry replay.CorpusEntry
+	Run   *Run
+	Err   error
+}
+
+// CheckCorpus verifies every corpus entry through the engine pool:
+// each scenario is replayed twice, its outcome checked against the
+// declared expectation, and the two runs compared byte for byte (the
+// record/replay contract). Entries are independent simulations, so
+// they run concurrently per parallel (see engine.Workers); results
+// come back in corpus order, making concurrent gate output identical
+// to the sequential path's.
+func CheckCorpus(entries []replay.CorpusEntry, parallel int) []CorpusResult {
+	return engine.Map(parallel, entries, func(_ int, e replay.CorpusEntry) CorpusResult {
+		cr := CorpusResult{Entry: e}
+		run, err := CheckScenario(e.Scenario)
+		cr.Run = run
+		if err != nil {
+			cr.Err = err
+			return cr
+		}
+		if run != nil {
+			again, err := ReplayErr(e.Scenario)
+			if Outcome(err) != e.Scenario.Expectation() || again == nil ||
+				again.StatfxText() != run.StatfxText() {
+				cr.Err = fmt.Errorf("cedar: replay not bit-identical across two runs: %s", e.Scenario)
+			}
+		}
+		return cr
+	})
 }
 
 // FaultWindows runs the app healthy on the configuration with the
