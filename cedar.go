@@ -14,6 +14,7 @@
 package cedar
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -86,6 +87,11 @@ type Options struct {
 	// are assembled in input order, so batch output is byte-identical
 	// at any setting (see internal/engine).
 	Parallel int
+
+	// cancelFrom is the context the ctx-aware entry points
+	// (SimulateRunCtx and friends) thread into the kernel's interrupt
+	// check. Unexported: plain Simulate paths never pay for it.
+	cancelFrom context.Context
 }
 
 // defaultWatchdog is the deadlock-check period when
@@ -173,6 +179,18 @@ func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error
 	k := sim.NewKernel(opts.seed(app, cfg))
 	if opts.MaxCycles > 0 {
 		k.SetMaxCycles(opts.MaxCycles)
+	}
+	if ctx := opts.cancelFrom; ctx != nil {
+		if done := ctx.Done(); done != nil {
+			k.SetInterrupt(interruptEvery, func() error {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+					return nil
+				}
+			})
+		}
 	}
 	if opts.WatchdogInterval >= 0 {
 		interval := opts.WatchdogInterval

@@ -1,0 +1,147 @@
+// Command cedarbenchdiff gates benchmark regressions against a
+// committed baseline. It parses two `go test -json` benchmark logs —
+// the baseline (BENCH_kernel.json, committed at the repo root) and a
+// fresh run — converts each benchmark's ns/op into events per second,
+// and fails when a benchmark got slower than the baseline by more than
+// the tolerance:
+//
+//	cedarbenchdiff -old BENCH_kernel.json -new bench_new.json [-tol 0.5]
+//
+// Results are keyed on the event's Test field (which carries no
+// -GOMAXPROCS suffix), so a baseline recorded on an 8-core machine
+// still gates a 4-core CI runner. The default tolerance is
+// deliberately loose (50%): across
+// machine generations only order-of-magnitude regressions — an
+// accidentally quadratic queue, a lost zero-allocation property — are
+// unambiguous, and those are exactly what the gate is for. Benchmarks
+// present only in the baseline are reported but not fatal (a renamed
+// benchmark should update the baseline); a new run with no common
+// benchmarks fails, since that means the gate matched nothing.
+//
+// Exit status: 0 when every common benchmark is within tolerance,
+// 1 on regression or empty intersection, 2 on bad invocation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// nsOp matches the measurement line of a benchmark result inside a
+// -json Output field, e.g. " 4507105\t       542.3 ns/op\t...". The
+// benchmark's name arrives separately in the event's Test field.
+var nsOp = regexp.MustCompile(`^\s*\d+\t\s*([0-9.]+) ns/op`)
+
+// testEvent is the subset of the `go test -json` schema we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parse extracts benchmark name → ns/op from a go test -json log. A
+// benchmark appearing more than once keeps its last value.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if json.Unmarshal(sc.Bytes(), &ev) != nil || ev.Action != "output" || ev.Test == "" {
+			continue
+		}
+		m := nsOp.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[1], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		out[ev.Test] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_kernel.json", "baseline go test -json benchmark log")
+	newPath := flag.String("new", "", "fresh go test -json benchmark log to gate")
+	tol := flag.Float64("tol", 0.5, "allowed slowdown fraction before failing (0.5 = new may be half the baseline's events/sec)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "cedarbenchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tol < 0 || *tol >= 1 {
+		fmt.Fprintf(os.Stderr, "cedarbenchdiff: -tol %v out of range [0,1)\n", *tol)
+		os.Exit(2)
+	}
+
+	oldNS, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newNS, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for n := range oldNS {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old ev/s", "new ev/s", "ratio")
+	common, failed := 0, 0
+	for _, n := range names {
+		oldEv := 1e9 / oldNS[n]
+		ns, ok := newNS[n]
+		if !ok {
+			fmt.Printf("%-44s %14.4g %14s %8s\n", n, oldEv, "missing", "-")
+			continue
+		}
+		common++
+		newEv := 1e9 / ns
+		ratio := newEv / oldEv
+		verdict := ""
+		if ratio < 1.0-*tol {
+			verdict = "  REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-44s %14.4g %14.4g %7.2fx%s\n", n, oldEv, newEv, ratio, verdict)
+	}
+	for n := range newNS {
+		if _, ok := oldNS[n]; !ok {
+			fmt.Printf("%-44s %14s %14.4g %8s\n", n, "(no baseline)", 1e9/newNS[n], "-")
+		}
+	}
+
+	switch {
+	case common == 0:
+		fmt.Fprintln(os.Stderr, "cedarbenchdiff: no benchmark appears in both logs; the gate matched nothing")
+		os.Exit(1)
+	case failed > 0:
+		fmt.Fprintf(os.Stderr, "cedarbenchdiff: %d of %d benchmark(s) regressed beyond %.0f%% of the baseline events/sec\n",
+			failed, common, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d common benchmark(s) within %.0f%% of baseline\n", common, *tol*100)
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	cedar "repro"
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/perfect"
+	"repro/internal/serve"
+)
+
+// runStatfx runs the selected simulation locally and prints only its
+// canonical statfx accounting block — the byte-stable text a
+// cedarserved job returns for the same invocation, so the two are
+// directly diffable.
+func runStatfx(app perfect.App, cfg arch.Config, opts cedar.Options, faultSpec string) {
+	if faultSpec != "" {
+		plan, err := faults.Parse(faultSpec)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		if err := plan.Validate(cfg); err != nil {
+			usageErr("%v", err)
+		}
+		opts.Faults = plan
+	}
+	run, err := cedar.SimulateRunErr(app, cfg, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(run.StatfxText())
+}
+
+// runRemote submits the invocation to a cedarserved instance as a
+// simulate job, polls it to a terminal state, and prints the job's
+// canonical statfx result — byte-identical to what -statfx prints
+// locally for the same app, configuration, steps, and plan.
+func runRemote(server string, app perfect.App, cfg arch.Config, steps int, faultSpec string) {
+	base := strings.TrimRight(server, "/")
+	spec := serve.JobSpec{
+		Type:   serve.TypeSimulate,
+		App:    app.Name,
+		Config: cfg.Name,
+		Steps:  steps,
+		Plan:   faultSpec,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(1)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: submitting to %s: %v\n", server, err)
+		os.Exit(1)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		retry := resp.Header.Get("Retry-After")
+		fmt.Fprintf(os.Stderr, "cedarsim: server busy (%s, retry after %ss): %s\n",
+			resp.Status, retry, strings.TrimSpace(string(raw)))
+		os.Exit(1)
+	default:
+		fmt.Fprintf(os.Stderr, "cedarsim: submit rejected (%s): %s\n",
+			resp.Status, strings.TrimSpace(string(raw)))
+		os.Exit(1)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
+		fmt.Fprintf(os.Stderr, "cedarsim: bad submit response: %s\n", raw)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cedarsim: job %s %s\n", sub.ID, sub.State)
+
+	// Poll to a terminal state (a cache hit arrives already done).
+	state := sub.State
+	var jobErr, jobPanic string
+	for state == "queued" || state == "running" {
+		time.Sleep(100 * time.Millisecond)
+		jr, err := http.Get(base + "/jobs/" + sub.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cedarsim: polling job %s: %v\n", sub.ID, err)
+			os.Exit(1)
+		}
+		var view struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+			Panic string `json:"panic"`
+		}
+		jerr := json.NewDecoder(jr.Body).Decode(&view)
+		jr.Body.Close()
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "cedarsim: polling job %s: %v\n", sub.ID, jerr)
+			os.Exit(1)
+		}
+		state, jobErr, jobPanic = view.State, view.Error, view.Panic
+	}
+	if state != "done" {
+		msg := jobErr
+		if jobPanic != "" {
+			msg = fmt.Sprintf("%s (panic: %s)", msg, jobPanic)
+		}
+		fmt.Fprintf(os.Stderr, "cedarsim: job %s %s: %s\n", sub.ID, state, msg)
+		os.Exit(1)
+	}
+	rr, err := http.Get(base + "/jobs/" + sub.ID + "/result")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: fetching result: %v\n", err)
+		os.Exit(1)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(rr.Body)
+		fmt.Fprintf(os.Stderr, "cedarsim: result %s: %s\n", rr.Status, payload)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, rr.Body); err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -14,7 +14,7 @@
 //	         [-record-scenario corpus.scenario]
 //	         [-replay 'app=FLO52 config=8proc ... plan=ce:1@76414']
 //	         [-trace out.json] [-profile out.folded] [-series out.csv|out.prom]
-//	         [-parallel N]
+//	         [-parallel N] [-statfx] [-server http://host:8344]
 //
 // Independent simulations within one invocation — the measured run and
 // its 1-processor baseline, the healthy/degraded pair of a -fault
@@ -40,6 +40,12 @@
 // any expect= declaration. The simulation is deterministic in virtual
 // time, so a recorded line is a complete, stable reproduction of the
 // run it came from.
+//
+// -statfx prints only the run's canonical statfx accounting block
+// (Run.StatfxText). -server submits the same invocation to a running
+// cedarserved instance (see cmd/cedarserved) and prints the job's
+// result — byte-identical to the -statfx output for the same app,
+// configuration, steps, and fault plan.
 //
 // The observability flags arm the obs layer: -trace writes a
 // Chrome/Perfetto trace-event file (load it at ui.perfetto.dev),
@@ -130,6 +136,8 @@ func main() {
 	profilePath := flag.String("profile", "", "write a folded-stack profile weighted by virtual cycles")
 	seriesPath := flag.String("series", "", "write the sampled time series (CSV, or Prometheus text if *.prom)")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
+	serverURL := flag.String("server", "", "submit the run to a cedarserved instance at this URL and print its canonical statfx result")
+	statfx := flag.Bool("statfx", false, "run locally and print only the canonical statfx accounting block (byte-diffable against a -server run)")
 	flag.Parse()
 
 	if *listConfigs {
@@ -232,6 +240,22 @@ func main() {
 	}
 
 	opts := cedar.Options{Steps: *steps, XdoallChunk: *chunk, TreeFanout: *tree, Parallel: *parallel}
+
+	// The service modes print the canonical statfx block and nothing
+	// else, so a local and a remote run of the same invocation diff
+	// byte-for-byte.
+	if *serverURL != "" {
+		if custom {
+			usageErr("-server needs a named configuration the service knows (see -list-configs)")
+		}
+		runRemote(*serverURL, app, cfg, *steps, *faultSpec)
+		return
+	}
+	if *statfx {
+		runStatfx(app, cfg, opts, *faultSpec)
+		return
+	}
+
 	exp := exporter{trace: *tracePath, profile: *profilePath, series: *seriesPath}
 	if exp.enabled() {
 		// Arm the obs layer; the trace export also needs the hpm

@@ -1,0 +1,98 @@
+package cedar
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/perfect"
+	"repro/internal/sim"
+)
+
+// A canceled context stops a running simulation promptly with an error
+// matching both the sim and context sentinels, and a context canceled
+// before the run refuses to start at all.
+func TestSimulateRunCtxCancel(t *testing.T) {
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateRunCtx(pre, perfect.FLO52(), arch.Cedar8, Options{Steps: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// ~3 s of work uncanceled; the cancel must cut it short.
+	run, err := SimulateRunCtx(ctx, perfect.ADM(), arch.Cedar32, Options{Steps: 500})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, sim.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want sim.ErrCanceled and context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("canceled run took %v to return", elapsed)
+	}
+	// The partial run is still inspectable, like other abnormal ends.
+	if run == nil || run.Result == nil {
+		t.Fatal("canceled run did not return partial accounting")
+	}
+}
+
+// A deadline context behaves the same way, matching DeadlineExceeded.
+func TestSimulateRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := SimulateRunCtx(ctx, perfect.ADM(), arch.Cedar32, Options{Steps: 500})
+	if !errors.Is(err, sim.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want sim.ErrCanceled and context.DeadlineExceeded", err)
+	}
+}
+
+// An uncanceled context cannot perturb results: the ctx path is
+// byte-identical to the plain path, per configuration.
+func TestSweepConfigsCtxIdentical(t *testing.T) {
+	app := perfect.FLO52()
+	cfgs := []arch.Config{arch.Cedar1, arch.Cedar4, arch.Cedar8}
+	opts := Options{Steps: 2, Parallel: 2}
+	plain := SweepConfigs(app, cfgs, opts)
+	viaCtx, err := SweepConfigsCtx(context.Background(), app, cfgs, opts)
+	if err != nil {
+		t.Fatalf("SweepConfigsCtx: %v", err)
+	}
+	for _, cfg := range cfgs {
+		a, b := plain.Results[cfg.CEs()], viaCtx.Results[cfg.CEs()]
+		if a.CT != b.CT || a.Scale != b.Scale {
+			t.Fatalf("%s: ctx path diverged: CT %d vs %d, scale %g vs %g",
+				cfg.Name, a.CT, b.CT, a.Scale, b.Scale)
+		}
+	}
+}
+
+// Canceling a sweep mid-flight stops claiming configurations and
+// returns promptly.
+func TestSweepConfigsCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	cfgs := []arch.Config{arch.Cedar32, arch.Cedar32, arch.Cedar32, arch.Cedar32}
+	_, err := SweepConfigsCtx(ctx, perfect.ADM(), cfgs, Options{Steps: 500, Parallel: 2})
+	if err == nil {
+		t.Fatal("canceled sweep returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("canceled sweep took %v to return", d)
+	}
+}

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,9 +40,26 @@ func Workers(n int) int {
 // preserves the sequential path's failure semantics (facades that want
 // errors already wrap simulations in their Err variants).
 func Map[T, R any](workers int, items []T, fn func(int, T) R) []R {
+	out, _ := MapCtx(context.Background(), workers, items,
+		func(_ context.Context, i int, item T) R { return fn(i, item) })
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no
+// worker claims another job, and MapCtx returns ctx's error after
+// in-flight jobs finish. The returned slice always has len(items)
+// entries; indexes whose job never ran (or was running when the pool
+// was told to stop, if fn itself honors ctx and bails) hold zero
+// values, so callers must treat the results as partial whenever the
+// error is non-nil. fn receives ctx so long jobs can also stop early —
+// in this repository that is the simulation kernel's interrupt check.
+//
+// With a never-canceled ctx, results are exactly Map's: cancellation
+// checks cannot perturb job results, only truncate which jobs run.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(context.Context, int, T) R) ([]R, error) {
 	n := len(items)
 	if n == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	out := make([]R, n)
 	w := Workers(workers)
@@ -50,9 +68,12 @@ func Map[T, R any](workers int, items []T, fn func(int, T) R) []R {
 	}
 	if w <= 1 {
 		for i, item := range items {
-			out[i] = fn(i, item)
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			out[i] = fn(ctx, i, item)
 		}
-		return out
+		return out, ctx.Err()
 	}
 
 	var (
@@ -66,7 +87,7 @@ func Map[T, R any](workers int, items []T, fn func(int, T) R) []R {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !panicked.Load() {
+			for !panicked.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -82,7 +103,7 @@ func Map[T, R any](workers int, items []T, fn func(int, T) R) []R {
 							panicMu.Unlock()
 						}
 					}()
-					out[i] = fn(i, items[i])
+					out[i] = fn(ctx, i, items[i])
 				}()
 			}
 		}()
@@ -91,7 +112,7 @@ func Map[T, R any](workers int, items []T, fn func(int, T) R) []R {
 	if panicked.Load() {
 		panic(panicVal)
 	}
-	return out
+	return out, ctx.Err()
 }
 
 // Do runs every thunk on the pool and waits for all of them — Map for

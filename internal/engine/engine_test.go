@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -132,5 +134,70 @@ func TestDoRunsAllThunks(t *testing.T) {
 	)
 	if !a.Load() || !b.Load() || !c.Load() {
 		t.Fatal("Do skipped a thunk")
+	}
+}
+
+func TestMapCtxCancelStopsClaiming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const items = 64
+	var started atomic.Int32
+	start := time.Now()
+	_, err := MapCtx(ctx, 4, make([]int, items), func(ctx context.Context, i, _ int) int {
+		started.Add(1)
+		if started.Load() >= 4 {
+			cancel() // all four workers are busy; nothing more may be claimed
+		}
+		<-ctx.Done() // a cancellation-aware job: blocks until the cancel
+		return i + 1
+	})
+	if err == nil {
+		t.Fatal("MapCtx returned nil error after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n > 8 {
+		t.Fatalf("%d jobs started after cancel; workers kept claiming", n)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("MapCtx took %v to return after cancel", d)
+	}
+}
+
+func TestMapCtxUncanceledMatchesMap(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	want := Map(4, items, func(i, v int) int { return v*v + i })
+	got, err := MapCtx(context.Background(), 4, items, func(_ context.Context, i, v int) int { return v*v + i })
+	if err != nil {
+		t.Fatalf("MapCtx err = %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapCtxSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	out, err := MapCtx(ctx, 1, make([]int, 10), func(_ context.Context, i, _ int) int {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return i + 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("sequential path ran %d jobs after cancel at index 2", ran)
+	}
+	if out[3] != 0 {
+		t.Fatalf("unclaimed job has non-zero result %d", out[3])
 	}
 }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromSetExposition(t *testing.T) {
+	s := NewPromSet(map[string]string{"service": "cedarserved", "instance": "a"})
+	c := s.Counter("serve_retries_total", "retries")
+	g := s.Gauge("serve_running_jobs", "running")
+	s.GaugeFunc("serve_queue_depth", "queued", func() float64 { return 7 })
+	c.Add(3)
+	g.Set(2.5)
+
+	var b strings.Builder
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cedar_serve_retries_total counter",
+		`cedar_serve_retries_total{instance="a",service="cedarserved"} 3`,
+		"# TYPE cedar_serve_running_jobs gauge",
+		`cedar_serve_running_jobs{instance="a",service="cedarserved"} 2.5`,
+		`cedar_serve_queue_depth{instance="a",service="cedarserved"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromSetHandlerAndReRegister(t *testing.T) {
+	s := NewPromSet(nil)
+	a := s.Counter("hits_total", "h")
+	b := s.Counter("hits_total", "h")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("re-registered counter not shared: %d", a.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type did not panic")
+		}
+	}()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "cedar_hits_total 2") {
+		t.Fatalf("handler output: %s", rec.Body.String())
+	}
+	s.Gauge("hits_total", "now a gauge")
+}
+
+func TestPromSetConcurrent(t *testing.T) {
+	s := NewPromSet(nil)
+	c := s.Counter("ops_total", "ops")
+	g := s.Gauge("level", "level")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				var b strings.Builder
+				s.Write(&b)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Fatalf("counter = %d, want 800", c.Value())
+	}
+}

@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	cedar "repro"
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/faults/replay"
+	"repro/internal/perfect"
+	"repro/internal/resultcache"
+	"repro/internal/sim"
+)
+
+// simTime converts a JSON int64 cycle count to the kernel's time type.
+func simTime(v int64) sim.Time { return sim.Time(v) }
+
+// Job types accepted by the service.
+const (
+	TypeSimulate = "simulate" // one app on one configuration
+	TypeSweep    = "sweep"    // one app across a configuration list
+	TypeReplay   = "replay"   // one recorded fault scenario
+	TypeCorpus   = "corpus"   // a batch of scenario lines, each verified
+)
+
+// JobSpec is the submitted description of one job (the POST /jobs
+// body). Fields are per-type; Validate names misuse precisely.
+type JobSpec struct {
+	// Type selects the job shape: simulate, sweep, replay, or corpus.
+	Type string `json:"type"`
+	// App is the application name (simulate, sweep).
+	App string `json:"app,omitempty"`
+	// Config is the configuration name (simulate).
+	Config string `json:"config,omitempty"`
+	// Configs lists configuration names for a sweep; empty means the
+	// paper's five.
+	Configs []string `json:"configs,omitempty"`
+	// Steps overrides the timestep count when > 0 (simulate, sweep).
+	Steps int `json:"steps,omitempty"`
+	// Seed overrides the deterministic kernel seed when non-zero
+	// (simulate, sweep).
+	Seed int64 `json:"seed,omitempty"`
+	// Plan is a fault plan in the faults.Parse grammar (simulate).
+	Plan string `json:"plan,omitempty"`
+	// Scenario is a recorded scenario line (replay).
+	Scenario string `json:"scenario,omitempty"`
+	// Corpus is a list of scenario lines (corpus).
+	Corpus []string `json:"corpus,omitempty"`
+	// DeadlineMS caps each attempt's wall-clock run time in
+	// milliseconds; 0 uses the server default. Enforced by context
+	// cancellation threaded into the simulation kernel.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxCycles caps virtual time (0 = unlimited): the in-model
+	// counterpart of the wall-clock deadline.
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Parallel bounds intra-job parallelism for sweep and corpus jobs
+	// (0 = GOMAXPROCS).
+	Parallel int `json:"parallel,omitempty"`
+	// NoCache skips the result cache for this job (both lookup and
+	// fill).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// resolved carries the validated, decoded form of a spec so execution
+// never re-parses.
+type resolved struct {
+	app       perfect.App
+	cfg       arch.Config
+	cfgs      []arch.Config
+	plan      faults.Plan
+	scenario  replay.Scenario
+	scenarios []replay.Scenario
+}
+
+// Validate checks the spec against the live application and
+// configuration registries and parses plan/scenario text, so a bad
+// request is rejected at submit time (400), never discovered by a
+// worker.
+func (sp *JobSpec) Validate() (resolved, error) {
+	var r resolved
+	var err error
+	switch sp.Type {
+	case TypeSimulate:
+		if r.app, r.cfg, err = lookup(sp.App, sp.Config); err != nil {
+			return r, err
+		}
+		if sp.Plan != "" {
+			if r.plan, err = faults.Parse(sp.Plan); err != nil {
+				return r, err
+			}
+			if err = r.plan.Validate(r.cfg); err != nil {
+				return r, err
+			}
+		}
+	case TypeSweep:
+		var ok bool
+		if r.app, ok = perfect.ByName(sp.App); !ok {
+			return r, fmt.Errorf("unknown application %q", sp.App)
+		}
+		if sp.Plan != "" {
+			return r, fmt.Errorf("sweep jobs do not take a fault plan (submit per-config simulate jobs)")
+		}
+		names := sp.Configs
+		if len(names) == 0 {
+			for _, c := range arch.PaperConfigs() {
+				names = append(names, c.Name)
+			}
+			sp.Configs = names // canonicalized: the cache key names them
+		}
+		for _, n := range names {
+			cfg, ok := arch.FamilyByName(n)
+			if !ok {
+				return r, fmt.Errorf("unknown configuration %q", n)
+			}
+			r.cfgs = append(r.cfgs, cfg)
+		}
+	case TypeReplay:
+		if r.scenario, err = replay.Parse(sp.Scenario); err != nil {
+			return r, err
+		}
+		if _, _, err = lookup(r.scenario.App, r.scenario.Config); err != nil {
+			return r, err
+		}
+	case TypeCorpus:
+		if len(sp.Corpus) == 0 {
+			return r, fmt.Errorf("corpus job without scenario lines")
+		}
+		for i, line := range sp.Corpus {
+			sc, perr := replay.Parse(line)
+			if perr != nil {
+				return r, fmt.Errorf("corpus line %d: %w", i+1, perr)
+			}
+			if _, _, err = lookup(sc.App, sc.Config); err != nil {
+				return r, fmt.Errorf("corpus line %d: %w", i+1, err)
+			}
+			r.scenarios = append(r.scenarios, sc)
+		}
+	case "":
+		return r, fmt.Errorf("missing job type (want %s, %s, %s, or %s)",
+			TypeSimulate, TypeSweep, TypeReplay, TypeCorpus)
+	default:
+		return r, fmt.Errorf("unknown job type %q (want %s, %s, %s, or %s)",
+			sp.Type, TypeSimulate, TypeSweep, TypeReplay, TypeCorpus)
+	}
+	if sp.DeadlineMS < 0 {
+		return r, fmt.Errorf("negative deadline_ms %d", sp.DeadlineMS)
+	}
+	if sp.MaxCycles < 0 {
+		return r, fmt.Errorf("negative max_cycles %d", sp.MaxCycles)
+	}
+	if sp.Parallel < 0 {
+		return r, fmt.Errorf("negative parallel %d", sp.Parallel)
+	}
+	return r, nil
+}
+
+func lookup(appName, cfgName string) (perfect.App, arch.Config, error) {
+	app, ok := perfect.ByName(appName)
+	if !ok {
+		return app, arch.Config{}, fmt.Errorf("unknown application %q", appName)
+	}
+	cfg, ok := arch.FamilyByName(cfgName)
+	if !ok {
+		return app, cfg, fmt.Errorf("unknown configuration %q", cfgName)
+	}
+	return app, cfg, nil
+}
+
+// cacheKey derives the content-address of the job's result. The
+// version stamp makes results model-output-versioned; corpus jobs
+// fold their scenario lines into the Plan field so any edit misses.
+func (sp *JobSpec) cacheKey(version string) resultcache.Key {
+	k := resultcache.Key{Kind: sp.Type, Version: version,
+		Steps: sp.Steps, Seed: sp.Seed}
+	switch sp.Type {
+	case TypeSimulate:
+		k.App, k.Config, k.Plan = sp.App, sp.Config, sp.Plan
+	case TypeSweep:
+		k.App, k.Config = sp.App, strings.Join(sp.Configs, ",")
+	case TypeReplay:
+		k.App = "replay"
+		k.Plan = sp.Scenario
+		k.Steps, k.Seed = 0, 0
+	case TypeCorpus:
+		k.App = "corpus"
+		k.Plan = strings.Join(sp.Corpus, "\n")
+		k.Steps, k.Seed = 0, 0
+	}
+	return k
+}
+
+// options builds the facade options a spec implies.
+func (sp *JobSpec) options() cedar.Options {
+	return cedar.Options{
+		Steps:     sp.Steps,
+		Seed:      sp.Seed,
+		MaxCycles: simTime(sp.MaxCycles),
+		Parallel:  sp.Parallel,
+	}
+}
+
+// execute runs the job body under ctx and returns the canonical result
+// text. Every simulate-shaped result is Run.StatfxText — the byte-
+// stable accounting block the replay machinery already compares — so a
+// service result is directly diffable against a local cedarsim run.
+func (sp *JobSpec) execute(ctx context.Context, r resolved, progress func(string)) ([]byte, error) {
+	switch sp.Type {
+	case TypeSimulate:
+		opts := sp.options()
+		opts.Faults = r.plan
+		run, err := cedar.SimulateRunCtx(ctx, r.app, r.cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("simulated %s on %s: ct=%d", sp.App, sp.Config, int64(run.Result.CT)))
+		return []byte(run.StatfxText()), nil
+
+	case TypeSweep:
+		type out struct {
+			text string
+			err  error
+		}
+		results, err := engine.MapCtx(ctx, sp.Parallel, r.cfgs,
+			func(ctx context.Context, _ int, cfg arch.Config) out {
+				run, rerr := cedar.SimulateRunCtx(ctx, r.app, cfg, sp.options())
+				if rerr != nil {
+					return out{err: rerr}
+				}
+				progress(fmt.Sprintf("swept %s on %s: ct=%d", sp.App, cfg.Name, int64(run.Result.CT)))
+				return out{text: run.StatfxText()}
+			})
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for i, o := range results {
+			if o.err != nil {
+				return nil, fmt.Errorf("config %s: %w", r.cfgs[i].Name, o.err)
+			}
+			fmt.Fprintf(&b, "== %s\n%s", r.cfgs[i].Name, o.text)
+		}
+		return []byte(b.String()), nil
+
+	case TypeReplay:
+		sc := r.scenario
+		app, cfg, err := lookup(sc.App, sc.Config)
+		if err != nil {
+			return nil, err
+		}
+		opts := cedar.Options{Steps: sc.Steps, Seed: sc.Seed, Faults: sc.Plan,
+			MaxCycles: simTime(sp.MaxCycles)}
+		run, err := cedar.SimulateRunCtx(ctx, app, cfg, opts)
+		outcome := cedar.Outcome(err)
+		if err != nil && outcome == replay.ExpectError && isAbort(err) {
+			// Cancellation/deadline is an abort of the service job, not
+			// a simulation outcome.
+			return nil, err
+		}
+		if want := sc.Expectation(); outcome != want {
+			return nil, fmt.Errorf("scenario %q: outcome %s, want %s", sc, outcome, want)
+		}
+		progress(fmt.Sprintf("replayed %s: outcome %s", sc, outcome))
+		var b strings.Builder
+		fmt.Fprintf(&b, "scenario %s\noutcome %s\n", sc, outcome)
+		if run != nil {
+			b.WriteString(run.StatfxText())
+		}
+		return []byte(b.String()), nil
+
+	case TypeCorpus:
+		type out struct {
+			line string
+			err  error
+		}
+		results, err := engine.MapCtx(ctx, sp.Parallel, r.scenarios,
+			func(ctx context.Context, i int, sc replay.Scenario) out {
+				app, cfg, lerr := lookup(sc.App, sc.Config)
+				if lerr != nil {
+					return out{err: lerr}
+				}
+				run, rerr := cedar.SimulateRunCtx(ctx, app, cfg,
+					cedar.Options{Steps: sc.Steps, Seed: sc.Seed, Faults: sc.Plan})
+				if rerr != nil && isAbort(rerr) {
+					return out{err: rerr}
+				}
+				outcome := cedar.Outcome(rerr)
+				_ = run
+				status := "ok"
+				if outcome != sc.Expectation() {
+					status = fmt.Sprintf("FAIL (outcome %s, want %s)", outcome, sc.Expectation())
+				}
+				progress(fmt.Sprintf("corpus %d/%d: %s", i+1, len(r.scenarios), status))
+				return out{line: fmt.Sprintf("%s %s", status, sc)}
+			})
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		failed := 0
+		for _, o := range results {
+			if o.err != nil {
+				return nil, o.err
+			}
+			if strings.HasPrefix(o.line, "FAIL") {
+				failed++
+			}
+			b.WriteString(o.line)
+			b.WriteByte('\n')
+		}
+		if failed > 0 {
+			return []byte(b.String()), fmt.Errorf("%d of %d corpus scenario(s) missed their expectation", failed, len(results))
+		}
+		return []byte(b.String()), nil
+	}
+	return nil, fmt.Errorf("unknown job type %q", sp.Type)
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// ProgressEvent is one line of a job's progress log, streamed by
+// GET /jobs/{id}/events.
+type ProgressEvent struct {
+	At  time.Time `json:"at"`
+	Msg string    `json:"msg"`
+}
+
+// Job is the server-side record of one submitted job. All fields are
+// guarded by the server's mutex; JSON views are built from snapshots.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	State    string
+	Retries  int
+	CacheHit bool
+	Error    string
+	PanicVal string
+	Stack    string
+
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+
+	result []byte
+	events []ProgressEvent
+
+	res      resolved
+	cancel   context.CancelFunc // set while running
+	canceled bool               // client asked for cancellation
+}
+
+// JobView is the JSON shape of GET /jobs/{id}.
+type JobView struct {
+	ID          string          `json:"id"`
+	Spec        JobSpec         `json:"spec"`
+	State       string          `json:"state"`
+	Retries     int             `json:"retries"`
+	CacheHit    bool            `json:"cache_hit"`
+	Error       string          `json:"error,omitempty"`
+	Panic       string          `json:"panic,omitempty"`
+	Stack       string          `json:"stack,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	Events      []ProgressEvent `json:"events,omitempty"`
+}
+
+// view snapshots the job for JSON encoding. Caller holds the server
+// mutex.
+func (j *Job) view(withEvents bool) JobView {
+	v := JobView{
+		ID: j.ID, Spec: j.Spec, State: j.State, Retries: j.Retries,
+		CacheHit: j.CacheHit, Error: j.Error, Panic: j.PanicVal, Stack: j.Stack,
+		SubmittedAt: j.SubmittedAt,
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt
+		v.StartedAt = &t
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		v.FinishedAt = &t
+	}
+	if withEvents {
+		v.Events = append([]ProgressEvent(nil), j.events...)
+	}
+	return v
+}
+
+// sortViews orders job views newest-submission-first with ID as the
+// tie-break, for the list endpoint.
+func sortViews(vs []JobView) {
+	sort.Slice(vs, func(i, k int) bool {
+		if !vs[i].SubmittedAt.Equal(vs[k].SubmittedAt) {
+			return vs[i].SubmittedAt.After(vs[k].SubmittedAt)
+		}
+		return vs[i].ID < vs[k].ID
+	})
+}

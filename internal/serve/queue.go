@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// queue is the bounded admission queue. Push fails (rather than
+// blocks) when full — the HTTP layer turns that into 429 — and close
+// stops workers from starting queued work while leaving the pending
+// items in place for persistence.
+type queue struct {
+	mu     sync.Mutex
+	nempty sync.Cond
+	items  []*Job
+	max    int
+	closed bool
+}
+
+func newQueue(max int) *queue {
+	q := &queue{max: max}
+	q.nempty.L = &q.mu
+	return q
+}
+
+// push appends a job; false when the queue is full or closed.
+func (q *queue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.max {
+		return false
+	}
+	q.items = append(q.items, j)
+	q.nempty.Signal()
+	return true
+}
+
+// pop blocks until a job is available or the queue is closed. After
+// close, pop returns false immediately — queued jobs are deliberately
+// left unstarted so a draining server can persist them.
+func (q *queue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.items) == 0 {
+		q.nempty.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j, true
+}
+
+// remove deletes a specific queued job (cancellation); false when the
+// job already left the queue.
+func (q *queue) remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it == j {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// depth returns the number of queued jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close stops pops; queued items stay for snapshot.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nempty.Broadcast()
+}
+
+// snapshot returns the queued jobs in order.
+func (q *queue) snapshot() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]*Job(nil), q.items...)
+}
+
+// persistedJob is one pending job in the on-disk queue file. The
+// encoding is stable and minimal: ID, spec, and submission time —
+// everything a restarted server needs to resume the job exactly as
+// submitted.
+type persistedJob struct {
+	ID          string    `json:"id"`
+	Spec        JobSpec   `json:"spec"`
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// persistedQueue is the queue file's schema.
+type persistedQueue struct {
+	Version int            `json:"version"`
+	Jobs    []persistedJob `json:"jobs"`
+}
+
+const queueFileVersion = 1
+
+// queueFile is the pending-queue path under a state directory.
+func queueFile(stateDir string) string { return filepath.Join(stateDir, "queue.json") }
+
+// persistQueue writes the pending jobs atomically (temp file + rename)
+// so a crash during shutdown cannot leave a torn queue file. The
+// encoding is deterministic — same pending jobs, same bytes — so a
+// persisted queue round-trips byte-identically through a restart.
+func persistQueue(stateDir string, jobs []*Job) error {
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	pq := persistedQueue{Version: queueFileVersion}
+	for _, j := range jobs {
+		pq.Jobs = append(pq.Jobs, persistedJob{ID: j.ID, Spec: j.Spec, SubmittedAt: j.SubmittedAt.UTC()})
+	}
+	data, err := json.MarshalIndent(pq, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(stateDir, "queue.json.tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(name, queueFile(stateDir))
+	}
+	if werr != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: persisting queue: %w", werr)
+	}
+	return nil
+}
+
+// loadQueue reads a persisted pending queue; a missing file is an
+// empty queue. The file is left in place — the caller removes it only
+// once the jobs are safely re-enqueued.
+func loadQueue(stateDir string) ([]persistedJob, error) {
+	data, err := os.ReadFile(queueFile(stateDir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var pq persistedQueue
+	if err := json.Unmarshal(data, &pq); err != nil {
+		return nil, fmt.Errorf("serve: corrupt queue file %s: %w", queueFile(stateDir), err)
+	}
+	if pq.Version != queueFileVersion {
+		return nil, fmt.Errorf("serve: queue file %s has version %d, want %d",
+			queueFile(stateDir), pq.Version, queueFileVersion)
+	}
+	return pq.Jobs, nil
+}

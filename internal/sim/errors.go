@@ -18,6 +18,12 @@ var ErrDeadlock = errors.New("sim: deadlock")
 // *CycleBudgetError.
 var ErrCycleBudget = errors.New("sim: cycle budget exhausted")
 
+// ErrCanceled is the sentinel for runs stopped by an external
+// interrupt check (SetInterrupt) — in practice, a context canceled or
+// past its deadline while a simulation was in flight. The concrete
+// error is a *CanceledError carrying the underlying cause.
+var ErrCanceled = errors.New("sim: run canceled")
+
 // BlockedProc describes one process stuck at deadlock detection time.
 type BlockedProc struct {
 	Name      string
@@ -113,3 +119,24 @@ func (e *CycleBudgetError) Error() string {
 
 // Is makes errors.Is(err, ErrCycleBudget) match.
 func (e *CycleBudgetError) Is(target error) bool { return target == ErrCycleBudget }
+
+// CanceledError reports a run stopped by the kernel's interrupt check
+// (SetInterrupt): the virtual time the stop took effect and the cause
+// the check returned (typically context.Canceled or
+// context.DeadlineExceeded).
+type CanceledError struct {
+	At    Time
+	Cause error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled at cycle %d: %v", e.At, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrCanceled) match.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap exposes the cause so errors.Is also matches context.Canceled
+// and context.DeadlineExceeded.
+func (e *CanceledError) Unwrap() error { return e.Cause }

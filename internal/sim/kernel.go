@@ -110,6 +110,10 @@ type Kernel struct {
 	watchdogArmed bool
 	lastProgress  Time // last time any process actually executed
 	err           error
+
+	// External interrupt check (see SetInterrupt).
+	interrupt      func() error
+	interruptEvery uint64
 }
 
 // NewKernel returns a kernel with its virtual clock at zero and a
@@ -293,6 +297,11 @@ func (k *Kernel) Run(until Time) uint64 {
 func (k *Kernel) RunErr(until Time) (uint64, error) {
 	var fired uint64
 	for len(k.heap) > 0 {
+		if k.interrupt != nil && k.dispatched%k.interruptEvery == 0 {
+			if cause := k.interrupt(); cause != nil {
+				return fired, &CanceledError{At: k.now, Cause: cause}
+			}
+		}
 		next := k.heap[0]
 		if next.at > until {
 			break
@@ -352,6 +361,24 @@ func (k *Kernel) RunAllErr() (uint64, error) {
 // ErrCycleBudget before dispatching any event later than max. Zero
 // disables the budget.
 func (k *Kernel) SetMaxCycles(max Time) { k.maxCycles = max }
+
+// SetInterrupt installs an external stop check: RunErr calls check
+// before dispatch whenever the dispatched-event count is a multiple of
+// every (so roughly once per `every` events — cheap enough to leave
+// enabled on the hot path), and a non-nil return stops the run with a
+// *CanceledError wrapping it. This is how wall-clock concerns —
+// context cancellation, per-job deadlines in a serving process — reach
+// a kernel that otherwise only knows virtual time. The check never
+// fires mid-event, so a run that is not interrupted is byte-identical
+// to one with no check installed. A nil check disables interruption;
+// every <= 0 uses a default of 1024.
+func (k *Kernel) SetInterrupt(every uint64, check func() error) {
+	if every <= 0 {
+		every = 1024
+	}
+	k.interrupt = check
+	k.interruptEvery = every
+}
 
 // SetWatchdog enables deadlock detection with the given check
 // interval: if a full interval passes during which no process executes

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -401,3 +402,67 @@ func TestHoldUntilOutsideProcessPanics(t *testing.T) {
 	// future, where Hold/Yield panic.
 	proc.HoldUntil(0)
 }
+
+func TestInterruptStopsRun(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	// A self-rescheduling event: without an interrupt this would run
+	// to the until bound.
+	var tick func()
+	tick = func() {
+		fired++
+		k.After(1, tick)
+	}
+	k.Schedule(0, tick)
+	stop := errTestCause
+	calls := 0
+	k.SetInterrupt(8, func() error {
+		calls++
+		if calls >= 3 {
+			return stop
+		}
+		return nil
+	})
+	_, err := k.RunErr(1 << 20)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, errTestCause) {
+		t.Fatalf("err = %v does not unwrap to the interrupt cause", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || ce.Cause != stop {
+		t.Fatalf("err = %#v, want *CanceledError carrying the cause", err)
+	}
+	// The check fires every 8 dispatched events; with it returning the
+	// stop on its third call the run must end long before the bound.
+	if fired > 32 {
+		t.Fatalf("run dispatched %d events after cancel; interrupt not prompt", fired)
+	}
+}
+
+func TestInterruptNilCheckIdentical(t *testing.T) {
+	run := func(install bool) (uint64, Time) {
+		k := NewKernel(7)
+		if install {
+			k.SetInterrupt(1, func() error { return nil })
+		}
+		n := 0
+		var tick func()
+		tick = func() {
+			if n++; n < 100 {
+				k.After(3, tick)
+			}
+		}
+		k.Schedule(0, tick)
+		k.RunAll()
+		return k.EventsFired(), k.Now()
+	}
+	f0, t0 := run(false)
+	f1, t1 := run(true)
+	if f0 != f1 || t0 != t1 {
+		t.Fatalf("non-firing interrupt perturbed the run: (%d,%d) vs (%d,%d)", f0, t0, f1, t1)
+	}
+}
+
+var errTestCause = errors.New("test cause")
