@@ -114,10 +114,18 @@ func (g Gauge) Set(v float64) { g.m.bits.Store(math.Float64bits(v)) }
 func (g Gauge) Value() float64 { return math.Float64frombits(g.m.bits.Load()) }
 
 // GaugeFunc registers a gauge whose value is computed at scrape time —
-// for quantities some other structure already owns (queue depth, cache
-// hit counts). fn must be safe to call concurrently.
+// for quantities some other structure already owns (queue depth, live
+// entry counts). fn must be safe to call concurrently.
 func (s *PromSet) GaugeFunc(name, help string, fn func() float64) {
 	s.register(name, help, "gauge", fn)
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — for monotonic totals some other structure already owns (cache
+// hit/miss counts). fn must be safe to call concurrently and must
+// never decrease, or rate()/increase() over the series break.
+func (s *PromSet) CounterFunc(name, help string, fn func() float64) {
+	s.register(name, help, "counter", fn)
 }
 
 // Write renders every registered metric in registration order.

@@ -12,6 +12,7 @@ func TestPromSetExposition(t *testing.T) {
 	c := s.Counter("serve_retries_total", "retries")
 	g := s.Gauge("serve_running_jobs", "running")
 	s.GaugeFunc("serve_queue_depth", "queued", func() float64 { return 7 })
+	s.CounterFunc("serve_cache_hits_total", "hits", func() float64 { return 5 })
 	c.Add(3)
 	g.Set(2.5)
 
@@ -26,6 +27,8 @@ func TestPromSetExposition(t *testing.T) {
 		"# TYPE cedar_serve_running_jobs gauge",
 		`cedar_serve_running_jobs{instance="a",service="cedarserved"} 2.5`,
 		`cedar_serve_queue_depth{instance="a",service="cedarserved"} 7`,
+		"# TYPE cedar_serve_cache_hits_total counter",
+		`cedar_serve_cache_hits_total{instance="a",service="cedarserved"} 5`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)

@@ -38,9 +38,9 @@ import (
 )
 
 // Key identifies one cacheable job result. Every field participates in
-// the hash; the zero value of an unused field is part of the canonical
-// form, so adding a field changes no existing keys only if new uses
-// leave it zero.
+// the hash. Fields added after v1 (MaxCycles onward) enter the
+// canonical form only when non-zero, so keys minted before the field
+// existed keep their addresses.
 type Key struct {
 	// Kind is the job shape ("simulate", "sweep", "replay", ...):
 	// distinct shapes produce distinct payloads for otherwise equal
@@ -61,13 +61,21 @@ type Key struct {
 	// model output, so a model change must miss: bake a build/version
 	// stamp in here.
 	Version string
+	// MaxCycles is the virtual-time budget the run executed under
+	// (0 = unlimited). A budget-truncated result is a different payload
+	// from an unbounded run's, so the cap is part of the address.
+	MaxCycles int64
 }
 
 // Canonical renders the key as one line with a fixed field order — the
 // string that is hashed, and that each entry records for verification.
 func (k Key) Canonical() string {
-	return fmt.Sprintf("kind=%s app=%s config=%s steps=%d seed=%d plan=%s version=%s",
+	s := fmt.Sprintf("kind=%s app=%s config=%s steps=%d seed=%d plan=%s version=%s",
 		k.Kind, k.App, k.Config, k.Steps, k.Seed, k.Plan, k.Version)
+	if k.MaxCycles != 0 {
+		s += fmt.Sprintf(" maxcycles=%d", k.MaxCycles)
+	}
+	return s
 }
 
 // ID is the entry's content address: the hex SHA-256 of the canonical
@@ -153,11 +161,20 @@ func (c *Cache) Get(key Key) (payload []byte, ok bool) {
 	}
 	payload, err = decode(data, key)
 	if err != nil {
-		// Corrupt: report as a miss and remove the damaged entry so it
-		// cannot keep tripping readers.
+		// Corrupt: report as a miss, and remove the damaged entry so it
+		// cannot keep tripping readers. Removal re-verifies under the
+		// writer lock: a concurrent Put may have renamed a fresh, valid
+		// entry into place since the read above, and that entry must
+		// survive.
 		c.corrupt.Add(1)
 		c.misses.Add(1)
-		os.Remove(c.path(key))
+		c.mu.Lock()
+		if cur, rerr := os.ReadFile(c.path(key)); rerr == nil {
+			if _, derr := decode(cur, key); derr != nil {
+				os.Remove(c.path(key))
+			}
+		}
+		c.mu.Unlock()
 		return nil, false
 	}
 	c.hits.Add(1)

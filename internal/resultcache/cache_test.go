@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -47,6 +48,7 @@ func TestKeyFieldsAllParticipate(t *testing.T) {
 		func() Key { k := base; k.Seed = 2; return k }(),
 		func() Key { k := base; k.Plan = ""; return k }(),
 		func() Key { k := base; k.Version = "test-v2"; return k }(),
+		func() Key { k := base; k.MaxCycles = 7; return k }(),
 	}
 	seen := map[string]bool{base.ID(): true}
 	for i, v := range variants {
@@ -54,6 +56,11 @@ func TestKeyFieldsAllParticipate(t *testing.T) {
 			t.Fatalf("variant %d (%s) collides with a previous key", i, v.Canonical())
 		}
 		seen[v.ID()] = true
+	}
+	// Post-v1 fields enter the canonical form only when set, so keys
+	// minted before they existed keep their addresses.
+	if strings.Contains(base.Canonical(), "maxcycles") {
+		t.Fatalf("zero MaxCycles altered the v1 canonical form: %s", base.Canonical())
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -159,6 +160,19 @@ func (sp *JobSpec) Validate() (resolved, error) {
 	return r, nil
 }
 
+// isInterrupted reports an error caused by the service stopping a run
+// from outside the model — context cancellation or an expired attempt
+// deadline, usually surfaced as the kernel's *sim.CanceledError — as
+// opposed to an outcome of the simulation itself. Interrupted attempts
+// must bail out with the raw error so the retry/cancel machinery can
+// classify them; mapping them through cedar.Outcome would let a
+// truncated run masquerade as a real (and cacheable) result.
+func isInterrupted(err error) bool {
+	return errors.Is(err, sim.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 func lookup(appName, cfgName string) (perfect.App, arch.Config, error) {
 	app, ok := perfect.ByName(appName)
 	if !ok {
@@ -176,7 +190,7 @@ func lookup(appName, cfgName string) (perfect.App, arch.Config, error) {
 // fold their scenario lines into the Plan field so any edit misses.
 func (sp *JobSpec) cacheKey(version string) resultcache.Key {
 	k := resultcache.Key{Kind: sp.Type, Version: version,
-		Steps: sp.Steps, Seed: sp.Seed}
+		Steps: sp.Steps, Seed: sp.Seed, MaxCycles: sp.MaxCycles}
 	switch sp.Type {
 	case TypeSimulate:
 		k.App, k.Config, k.Plan = sp.App, sp.Config, sp.Plan
@@ -255,12 +269,13 @@ func (sp *JobSpec) execute(ctx context.Context, r resolved, progress func(string
 		opts := cedar.Options{Steps: sc.Steps, Seed: sc.Seed, Faults: sc.Plan,
 			MaxCycles: simTime(sp.MaxCycles)}
 		run, err := cedar.SimulateRunCtx(ctx, app, cfg, opts)
-		outcome := cedar.Outcome(err)
-		if err != nil && outcome == replay.ExpectError && isAbort(err) {
-			// Cancellation/deadline is an abort of the service job, not
-			// a simulation outcome.
+		if err != nil && isInterrupted(err) {
+			// Cancellation or a deadline stopped the attempt; that is
+			// never a simulation outcome, however the scenario's
+			// expectation reads.
 			return nil, err
 		}
+		outcome := cedar.Outcome(err)
 		if want := sc.Expectation(); outcome != want {
 			return nil, fmt.Errorf("scenario %q: outcome %s, want %s", sc, outcome, want)
 		}
@@ -284,8 +299,9 @@ func (sp *JobSpec) execute(ctx context.Context, r resolved, progress func(string
 					return out{err: lerr}
 				}
 				run, rerr := cedar.SimulateRunCtx(ctx, app, cfg,
-					cedar.Options{Steps: sc.Steps, Seed: sc.Seed, Faults: sc.Plan})
-				if rerr != nil && isAbort(rerr) {
+					cedar.Options{Steps: sc.Steps, Seed: sc.Seed, Faults: sc.Plan,
+						MaxCycles: simTime(sp.MaxCycles)})
+				if rerr != nil && isInterrupted(rerr) {
 					return out{err: rerr}
 				}
 				outcome := cedar.Outcome(rerr)

@@ -210,13 +210,13 @@ func (s *Server) registerMetrics() {
 	s.met.cacheWriteErr = m.Counter("serve_cache_write_errors_total", "result-cache write failures")
 	s.met.drainSeconds = m.Gauge("serve_drain_seconds", "duration of the last graceful drain")
 	if s.cache != nil {
-		m.GaugeFunc("serve_cache_hits_total", "result-cache hits", func() float64 {
+		m.CounterFunc("serve_cache_hits_total", "result-cache hits", func() float64 {
 			return float64(s.cache.Stats().Hits)
 		})
-		m.GaugeFunc("serve_cache_misses_total", "result-cache misses", func() float64 {
+		m.CounterFunc("serve_cache_misses_total", "result-cache misses", func() float64 {
 			return float64(s.cache.Stats().Misses)
 		})
-		m.GaugeFunc("serve_cache_corrupt_total", "corrupt result-cache entries detected and discarded", func() float64 {
+		m.CounterFunc("serve_cache_corrupt_total", "corrupt result-cache entries detected and discarded", func() float64 {
 			return float64(s.cache.Stats().Corrupt)
 		})
 		m.GaugeFunc("serve_cache_entries", "complete entries in the result cache", func() float64 {
@@ -282,23 +282,43 @@ func (s *Server) Drain(ctx context.Context) error {
 		defer cancel()
 	}
 
-	// Wait for running jobs up to the drain deadline.
-	for s.running.Load() > 0 && ctx.Err() == nil {
-		s.sleepSmall()
-	}
-	if s.running.Load() > 0 {
-		// Deadline passed: cancel stragglers and wait for the workers
-		// to observe it (the kernel interrupt check makes that fast).
-		s.mu.Lock()
-		for _, j := range s.jobs {
-			if j.State == StateRunning && j.cancel != nil {
-				j.Error = "canceled: server draining"
-				j.cancel()
+	// The pool is fully drained exactly when every worker has exited:
+	// the queue is closed, so each worker returns as soon as its
+	// current job (if any) finishes. Waiting on the pool rather than on
+	// a running-jobs counter closes the race with a worker that popped
+	// a job just before close but has not yet registered it as running
+	// — such a job still holds its worker, and the pool does not exit
+	// until it is done or canceled.
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Deadline passed: cancel stragglers until the pool exits. The
+		// sweep repeats because a worker may register a freshly popped
+		// job only after a cancel pass has already run; each registered
+		// job is then stopped at the kernel's next interrupt check.
+		for draining := true; draining; {
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				if j.State == StateRunning && j.cancel != nil {
+					if j.Error == "" {
+						j.Error = "canceled: server draining"
+					}
+					j.cancel()
+				}
+			}
+			s.mu.Unlock()
+			select {
+			case <-drained:
+				draining = false
+			case <-time.After(2 * time.Millisecond):
 			}
 		}
-		s.mu.Unlock()
 	}
-	s.wg.Wait()
 
 	var err error
 	if s.cfg.StateDir != "" {
@@ -307,8 +327,6 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.met.drainSeconds.Set(time.Since(start).Seconds())
 	return err
 }
-
-func (s *Server) sleepSmall() { time.Sleep(2 * time.Millisecond) }
 
 // newID mints a job ID: a monotonic sequence number plus random bits
 // so IDs stay unique across restarts that resume persisted jobs.

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	cedar "repro"
 	"repro/internal/arch"
 	"repro/internal/perfect"
+	"repro/internal/sim"
 )
 
 // fastCfg is a test server configuration with tiny backoffs so retry
@@ -724,6 +726,73 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+}
+
+// Attempts stopped from outside the model — cancellation or a
+// deadline, bare or wrapped in the kernel's CanceledError — must never
+// be classified as simulation outcomes; real in-model terminations
+// must.
+func TestIsInterruptedClassification(t *testing.T) {
+	for _, err := range []error{
+		&sim.CanceledError{At: 5, Cause: context.DeadlineExceeded},
+		&sim.CanceledError{At: 5, Cause: context.Canceled},
+		context.Canceled,
+		fmt.Errorf("attempt deadline 40ms exceeded: %w", context.DeadlineExceeded),
+	} {
+		if !isInterrupted(err) {
+			t.Errorf("isInterrupted(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		&sim.DeadlockError{At: 1, Live: 2},
+		&sim.CycleBudgetError{Budget: 10, Now: 10, Live: 1},
+		errors.New("model blew up"),
+	} {
+		if isInterrupted(err) {
+			t.Errorf("isInterrupted(%v) = true, want false", err)
+		}
+	}
+}
+
+// A deadline-expired replay attempt surfaces its raw error for the
+// retry machinery instead of being mapped through cedar.Outcome —
+// otherwise an expect=error scenario would accept the truncated run as
+// a success and cache its payload.
+func TestReplayInterruptedIsNotAnOutcome(t *testing.T) {
+	spec := JobSpec{Type: TypeReplay, Scenario: okScenario + " expect=error"}
+	r, err := spec.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	payload, err := spec.execute(ctx, r, func(string) {})
+	if err == nil {
+		t.Fatalf("deadline-expired replay reported success: %q", payload)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded to surface", err)
+	}
+}
+
+// MaxCycles changes what a run computes, so it is part of the cache
+// address; the zero value stays out of the canonical form so specs
+// without a budget keep their pre-existing keys.
+func TestCacheKeyIncludesMaxCycles(t *testing.T) {
+	capped := smallSim
+	capped.MaxCycles = 1000
+	if smallSim.cacheKey("v").ID() == capped.cacheKey("v").ID() {
+		t.Fatal("simulate max_cycles does not change the cache key")
+	}
+	re := JobSpec{Type: TypeReplay, Scenario: okScenario}
+	reCapped := re
+	reCapped.MaxCycles = 1000
+	if re.cacheKey("v").ID() == reCapped.cacheKey("v").ID() {
+		t.Fatal("replay max_cycles does not change the cache key")
+	}
+	if c := smallSim.cacheKey("v").Canonical(); strings.Contains(c, "maxcycles") {
+		t.Fatalf("zero max_cycles altered the canonical key: %s", c)
 	}
 }
 
