@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/cfrt"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/hpm"
+	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/perfect"
@@ -120,6 +122,12 @@ type Run struct {
 	Injector *faults.Injector // nil unless Options.Faults was set
 	Obs      *obs.Recorder    // nil unless Options.Observe was set
 	Series   *obs.Collector   // nil unless Options.Observe was set
+
+	// reg is the run's metric registry: pre-seeded with the live series
+	// probes when the run was observed, completed lazily with the
+	// result metrics by Metrics().
+	reg     *metricreg.Registry
+	regOnce sync.Once
 }
 
 // Simulate runs one application on one configuration and returns the
@@ -204,13 +212,21 @@ func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error
 
 	var rec *obs.Recorder
 	var series *obs.Collector
+	var liveReg *metricreg.Registry
 	if opts.Observe != nil {
 		rec = obs.NewRecorder(*opts.Observe)
 		m.Obs = rec
 		m.GM.SetRecorder(rec)
 		o.Obs = rec
 		series = obs.NewCollector(k, *opts.Observe)
-		registerProbes(series, m)
+		liveReg = metricreg.New()
+		registerProbes(liveReg, m)
+		// The collector samples the registry's live scalar metrics: one
+		// registration feeds the time series and every exporter alike,
+		// in registration order (the series CSV column order).
+		for _, rd := range liveReg.ScalarReaders() {
+			series.AddProbe(rd.Desc.Name, func(now sim.Time) float64 { return rd.Read() })
+		}
 		series.Start()
 	}
 
@@ -258,16 +274,20 @@ func SimulateRunErr(app perfect.App, cfg arch.Config, opts Options) (*Run, error
 
 	res := core.Collect(app.Name, 1, rt, sampler)
 	run := &Run{Result: res, Machine: m, OS: o, RT: rt, Monitor: mon, Injector: inj,
-		Obs: rec, Series: series}
+		Obs: rec, Series: series, reg: liveReg}
 	return run, err
 }
 
-// registerProbes attaches the standard time-series probes to the
-// collector: machine and per-cluster concurrency (the statfx signal),
+// registerProbes registers the standard live probes as registry gauge
+// functions: machine and per-cluster concurrency (the statfx signal),
 // the qmon user/system/interrupt/spin split as CE counts, global-memory
 // module utilization and backlog, network port backlog (the hot-spot
-// signal), and simulation liveness counters.
-func registerProbes(c *obs.Collector, m *cluster.Machine) {
+// signal), and simulation liveness counters. Each reads the machine at
+// the kernel's current virtual time, so sampling them from the series
+// collector is equivalent to the old direct probes — but the same
+// registration also puts them in every exporter.
+func registerProbes(reg *metricreg.Registry, m *cluster.Machine) {
+	now := m.Kernel.Now
 	countCEs := func(pred func(*cluster.CE) bool) float64 {
 		n := 0.0
 		for _, ce := range m.AllCEs() {
@@ -277,37 +297,39 @@ func registerProbes(c *obs.Collector, m *cluster.Machine) {
 		}
 		return n
 	}
-	c.AddProbe("concurrency", func(now sim.Time) float64 {
+	reg.GaugeFunc("concurrency", "CEs active at the sampling instant", "ces", func() float64 {
 		return countCEs(func(ce *cluster.CE) bool { return ce.Busy().IsActive() })
 	})
 	for ci := range m.Clusters {
 		cl := m.Clusters[ci]
-		c.AddProbe(fmt.Sprintf("concurrency_c%d", ci), func(now sim.Time) float64 {
-			n := 0.0
-			for _, ce := range cl.CEs {
-				if ce.Busy().IsActive() {
-					n++
+		reg.GaugeFunc(fmt.Sprintf("concurrency_c%d", ci),
+			fmt.Sprintf("CEs of cluster %d active at the sampling instant", ci), "ces",
+			func() float64 {
+				n := 0.0
+				for _, ce := range cl.CEs {
+					if ce.Busy().IsActive() {
+						n++
+					}
 				}
-			}
-			return n
-		})
+				return n
+			})
 	}
 	// The qmon split, sampled as how many CEs are in each execution
 	// mode at the instant (Figure 3's user/system/interrupt/spin).
-	c.AddProbe("ces_user", func(now sim.Time) float64 {
+	reg.GaugeFunc("ces_user", "CEs executing user code", "ces", func() float64 {
 		return countCEs(func(ce *cluster.CE) bool { return ce.Busy().IsUser() })
 	})
-	c.AddProbe("ces_system", func(now sim.Time) float64 {
+	reg.GaugeFunc("ces_system", "CEs executing OS system code", "ces", func() float64 {
 		return countCEs(func(ce *cluster.CE) bool { return ce.Busy() == metrics.CatOSSystem })
 	})
-	c.AddProbe("ces_interrupt", func(now sim.Time) float64 {
+	reg.GaugeFunc("ces_interrupt", "CEs servicing interrupts", "ces", func() float64 {
 		return countCEs(func(ce *cluster.CE) bool { return ce.Busy() == metrics.CatOSInterrupt })
 	})
-	c.AddProbe("ces_spin", func(now sim.Time) float64 {
+	reg.GaugeFunc("ces_spin", "CEs spinning on OS locks", "ces", func() float64 {
 		return countCEs(func(ce *cluster.CE) bool { return ce.Busy() == metrics.CatOSSpin })
 	})
-	c.AddProbe("gm_module_util_mean", func(now sim.Time) float64 {
-		us := m.GM.ModuleUtilization(now)
+	reg.GaugeFunc("gm_module_util_mean", "mean global-memory module utilization", "fraction", func() float64 {
+		us := m.GM.ModuleUtilization(now())
 		if len(us) == 0 {
 			return 0
 		}
@@ -317,31 +339,31 @@ func registerProbes(c *obs.Collector, m *cluster.Machine) {
 		}
 		return sum / float64(len(us))
 	})
-	c.AddProbe("gm_module_util_max", func(now sim.Time) float64 {
+	reg.GaugeFunc("gm_module_util_max", "utilization of the hottest global-memory module", "fraction", func() float64 {
 		max := 0.0
-		for _, u := range m.GM.ModuleUtilization(now) {
+		for _, u := range m.GM.ModuleUtilization(now()) {
 			if u > max {
 				max = u
 			}
 		}
 		return max
 	})
-	c.AddProbe("gm_backlog_cycles", func(now sim.Time) float64 {
-		return float64(m.GM.ModuleBacklog(now))
+	reg.GaugeFunc("gm_backlog_cycles", "queued work across global-memory modules", "cycles", func() float64 {
+		return float64(m.GM.ModuleBacklog(now()))
 	})
-	c.AddProbe("gm_accesses", func(now sim.Time) float64 {
+	reg.CounterFunc("gm_accesses", "global-memory accesses issued", "accesses", func() float64 {
 		return float64(m.GM.Stats().Accesses)
 	})
-	c.AddProbe("net_backlog_cycles", func(now sim.Time) float64 {
-		return float64(m.GM.Net().Backlog(now))
+	reg.GaugeFunc("net_backlog_cycles", "queued work across network ports", "cycles", func() float64 {
+		return float64(m.GM.Net().Backlog(now()))
 	})
-	c.AddProbe("net_delay_cycles", func(now sim.Time) float64 {
+	reg.CounterFunc("net_delay_cycles", "cumulative network queueing delay", "cycles", func() float64 {
 		return float64(m.GM.Net().Stats().DelayTotal)
 	})
-	c.AddProbe("live_procs", func(now sim.Time) float64 {
+	reg.GaugeFunc("live_procs", "live kernel processes", "procs", func() float64 {
 		return float64(m.Kernel.LiveProcs())
 	})
-	c.AddProbe("failed_ces", func(now sim.Time) float64 {
+	reg.GaugeFunc("failed_ces", "CEs fail-stopped so far", "ces", func() float64 {
 		return float64(m.FailedCEs())
 	})
 }

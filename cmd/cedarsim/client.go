@@ -20,8 +20,9 @@ import (
 // runStatfx runs the selected simulation locally and prints only its
 // canonical statfx accounting block — the byte-stable text a
 // cedarserved job returns for the same invocation, so the two are
-// directly diffable.
-func runStatfx(app perfect.App, cfg arch.Config, opts cedar.Options, faultSpec string) {
+// directly diffable. A -metrics path still works here (written to its
+// own file; drop warnings go to stderr), keeping stdout byte-stable.
+func runStatfx(app perfect.App, cfg arch.Config, opts cedar.Options, faultSpec string, exp exporter) {
 	if faultSpec != "" {
 		plan, err := faults.Parse(faultSpec)
 		if err != nil {
@@ -38,6 +39,7 @@ func runStatfx(app perfect.App, cfg arch.Config, opts cedar.Options, faultSpec s
 		os.Exit(1)
 	}
 	fmt.Print(run.StatfxText())
+	exp.write(run)
 }
 
 // runRemote submits the invocation to a cedarserved instance as a

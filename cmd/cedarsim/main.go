@@ -14,6 +14,7 @@
 //	         [-record-scenario corpus.scenario]
 //	         [-replay 'app=FLO52 config=8proc ... plan=ce:1@76414']
 //	         [-trace out.json] [-profile out.folded] [-series out.csv|out.prom]
+//	         [-metrics out.prom|out.json|out.csv]
 //	         [-parallel N] [-statfx] [-server http://host:8344]
 //
 // Independent simulations within one invocation — the measured run and
@@ -52,7 +53,13 @@
 // -profile writes folded stacks weighted by virtual cycles (feed to
 // flamegraph.pl or inferno), and -series writes the sampled time
 // series as CSV, or as Prometheus text exposition when the path ends
-// in .prom. With -fault they export the degraded run.
+// in .prom. With -fault they export the degraded run. -metrics writes
+// the run's full metric registry snapshot — the same source of truth
+// StatfxText and cedarserved's /metrics render — in the format the
+// extension selects (.prom, .json, or CSV); unlike the other three it
+// works without arming the obs layer. Whenever a bounded
+// instrumentation buffer overflowed, a one-line warning on stderr
+// reports the total dropped-event count.
 package main
 
 import (
@@ -62,6 +69,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	cedar "repro"
 	"repro/internal/arch"
@@ -69,6 +77,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/faults/replay"
+	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/perfect"
@@ -135,6 +144,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
 	profilePath := flag.String("profile", "", "write a folded-stack profile weighted by virtual cycles")
 	seriesPath := flag.String("series", "", "write the sampled time series (CSV, or Prometheus text if *.prom)")
+	metricsPath := flag.String("metrics", "", "write the run's metric registry snapshot (Prometheus text if *.prom, JSON if *.json, CSV otherwise)")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	serverURL := flag.String("server", "", "submit the run to a cedarserved instance at this URL and print its canonical statfx result")
 	statfx := flag.Bool("statfx", false, "run locally and print only the canonical statfx accounting block (byte-diffable against a -server run)")
@@ -252,11 +262,11 @@ func main() {
 		return
 	}
 	if *statfx {
-		runStatfx(app, cfg, opts, *faultSpec)
+		runStatfx(app, cfg, opts, *faultSpec, exporter{metrics: *metricsPath})
 		return
 	}
 
-	exp := exporter{trace: *tracePath, profile: *profilePath, series: *seriesPath}
+	exp := exporter{trace: *tracePath, profile: *profilePath, series: *seriesPath, metrics: *metricsPath}
 	if exp.enabled() {
 		// Arm the obs layer; the trace export also needs the hpm
 		// monitor for runtime-structure spans.
@@ -359,14 +369,17 @@ func main() {
 // exporter writes the observability outputs of a run to the paths the
 // flags selected (empty paths are skipped).
 type exporter struct {
-	trace, profile, series string
+	trace, profile, series, metrics string
 }
 
+// enabled reports whether a flag needs the obs layer armed. -metrics
+// alone does not: the registry also covers unobserved runs.
 func (e exporter) enabled() bool { return e.trace != "" || e.profile != "" || e.series != "" }
 
-// write exports the run's trace, profile, and series files. Export
-// failures are fatal: an invocation that asked for an artifact and
-// cannot produce it should not exit 0.
+// write exports the run's trace, profile, series, and metric registry
+// files, then checks the run's drop counters. Export failures are
+// fatal: an invocation that asked for an artifact and cannot produce
+// it should not exit 0.
 func (e exporter) write(run *cedar.Run) {
 	if e.trace != "" {
 		e.toFile(e.trace, func(f *os.File) error {
@@ -388,6 +401,41 @@ func (e exporter) write(run *cedar.Run) {
 			return obs.WriteCSV(f, run.Series)
 		})
 	}
+	if e.metrics != "" {
+		snap := run.Metrics().Snapshot()
+		e.toFile(e.metrics, func(f *os.File) error {
+			switch {
+			case strings.HasSuffix(e.metrics, ".prom"):
+				return metricreg.WriteProm(f, snap, map[string]string{
+					"app": run.Result.App, "config": run.Machine.Cfg.Name,
+				})
+			case strings.HasSuffix(e.metrics, ".json"):
+				return metricreg.WriteJSON(f, snap)
+			default:
+				return metricreg.WriteCSV(f, snap)
+			}
+		})
+	}
+	warnDropped(run)
+}
+
+// warnDroppedOnce keeps the drop warning to one line per invocation
+// even when several runs (baseline, degraded) dropped events.
+var warnDroppedOnce sync.Once
+
+// warnDropped warns on stderr when a run's bounded instrumentation
+// buffers overflowed — silent drops would skew any fold over the trace
+// (the Figure 4 decompositions). Stderr keeps -statfx stdout
+// byte-identical.
+func warnDropped(run *cedar.Run) {
+	n := run.DroppedEvents()
+	if n == 0 {
+		return
+	}
+	warnDroppedOnce.Do(func() {
+		fmt.Fprintf(os.Stderr,
+			"cedarsim: warning: %d instrumentation event(s) dropped (trace or series buffer full); raise the trace capacity or series capacity before trusting trace folds\n", n)
+	})
 }
 
 func (e exporter) toFile(path string, fn func(*os.File) error) {

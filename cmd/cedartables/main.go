@@ -27,18 +27,51 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	cedar "repro"
+	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/metricreg"
 	"repro/internal/perfect"
 )
+
+// writeRegistrySnapshots simulates each app on the 32-CE configuration
+// and writes its metric registry snapshot (ct, concurrency, the OS
+// breakdown distribution, per-CE accounts) as <app>_32proc.metrics.json
+// under dir.
+func writeRegistrySnapshots(dir string, apps []perfect.App, opts cedar.Options) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "cedartables: %v\n", err)
+		os.Exit(1)
+	}
+	for _, app := range apps {
+		run := cedar.SimulateRun(app, arch.Cedar32, opts)
+		path := filepath.Join(dir, strings.ToLower(app.Name)+"_32proc.metrics.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cedartables: %v\n", err)
+			os.Exit(1)
+		}
+		werr := metricreg.WriteJSON(f, run.Metrics().Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "cedartables: writing %s: %v\n", path, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cedartables: wrote %s\n", path)
+	}
+}
 
 func main() {
 	appsFlag := flag.String("app", "", "comma-separated app names (default: all five)")
 	steps := flag.Int("steps", 0, "override timestep count (0 = app default)")
 	paper := flag.Bool("paper", false, "print the paper's published values after each table")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables")
+	metricsDir := flag.String("metrics", "", "write each app's 32-CE run metric registry snapshot as JSON into this directory")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	flag.Parse()
 
@@ -62,6 +95,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "simulating %s across configurations...\n", strings.Join(names, ", "))
 	sweeps := cedar.Sweeps(apps, opts)
+
+	if *metricsDir != "" {
+		// Re-run each app's 32-CE configuration with the same seed — the
+		// kernel is deterministic, so this reproduces the sweep's run —
+		// and export the full metric registry snapshot: the same source
+		// of truth the tables fold (registry files go to their own
+		// directory; table output above stays byte-identical).
+		writeRegistrySnapshots(*metricsDir, apps, opts)
+	}
 
 	if *csv {
 		var at32 []*core.Result

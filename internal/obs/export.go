@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/metricreg"
 )
 
 // WriteCSV writes the collector's buffered series as CSV: a cycles and
@@ -40,20 +41,9 @@ func WriteCSV(w io.Writer, c *Collector) error {
 }
 
 // promName sanitizes a series name into a Prometheus metric name and
-// prefixes the cedar namespace.
-func promName(name string) string {
-	var b strings.Builder
-	b.WriteString("cedar_")
-	for _, r := range name {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('_')
-		}
-	}
-	return b.String()
-}
+// prefixes the cedar namespace. One sanitizer for the whole tree: the
+// registry's exporter owns it.
+func promName(name string) string { return metricreg.PromName(name) }
 
 // WriteProm writes the most recent sample of every series in the
 // Prometheus text exposition format (version 0.0.4), as gauges with

@@ -1,123 +1,62 @@
 package obs
 
 import (
-	"fmt"
 	"io"
-	"math"
 	"net/http"
-	"sort"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/metricreg"
 )
 
-// PromSet is a live metric registry for long-running processes — the
+// Counter and Gauge are the central registry's scalar instruments,
+// re-exported so existing callers (the serve package's metric struct)
+// keep compiling unchanged.
+type Counter = metricreg.Counter
+
+// Gauge is the registry's up-and-down scalar instrument.
+type Gauge = metricreg.Gauge
+
+// PromSet is a thin compatibility shim over the central metric
+// registry (internal/metricreg) for long-running processes — the
 // serving-side counterpart of the Collector, which samples a
-// simulation's virtual time. A PromSet holds counters, gauges, and
-// pull-time gauge functions, all safe for concurrent use, and renders
-// them in the Prometheus text exposition format (version 0.0.4) for a
-// /metrics scrape endpoint.
+// simulation's virtual time. It keeps the original registration API
+// (Counter, Gauge, CounterFunc, GaugeFunc) and the original
+// Prometheus text exposition output byte-for-byte, but the metrics
+// themselves live in a Registry, so the same set also renders as JSON
+// or CSV and snapshots for per-job records.
 //
-// Metric names are sanitized and namespaced exactly like the series
-// exporter's (cedar_ prefix), so service metrics and simulation series
-// share one vocabulary in dashboards.
+// Metric names are sanitized and namespaced at export time exactly
+// like the series exporter's (cedar_ prefix), so service metrics and
+// simulation series share one vocabulary in dashboards.
 type PromSet struct {
-	labels string // pre-rendered constant label block, may be ""
-
-	mu    sync.Mutex
-	order []string
-	byN   map[string]*promMetric
+	reg    *metricreg.Registry
+	labels map[string]string
 }
 
-type promMetric struct {
-	name, help, typ string // typ: "counter" or "gauge"
-	bits            atomic.Uint64
-	fn              func() float64 // pull-time value; nil uses bits
-}
-
-// NewPromSet returns an empty registry with optional constant labels
-// applied to every metric.
+// NewPromSet returns a shim over a fresh registry with optional
+// constant labels applied to every exported sample.
 func NewPromSet(labels map[string]string) *PromSet {
-	return &PromSet{labels: renderLabels(labels), byN: map[string]*promMetric{}}
+	return &PromSet{reg: metricreg.New(), labels: labels}
 }
 
-func renderLabels(labels map[string]string) string {
-	if len(labels) == 0 {
-		return ""
-	}
-	keys := make([]string, 0, len(labels))
-	for k := range labels {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	parts := make([]string, len(keys))
-	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
-	}
-	out := "{"
-	for i, p := range parts {
-		if i > 0 {
-			out += ","
-		}
-		out += p
-	}
-	return out + "}"
-}
-
-// register adds (or returns the existing) metric under the sanitized
-// name. Re-registering with a different type panics: that is a
-// programming error, not a runtime condition.
-func (s *PromSet) register(name, help, typ string, fn func() float64) *promMetric {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := promName(name)
-	if m, ok := s.byN[n]; ok {
-		if m.typ != typ {
-			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", n, typ, m.typ))
-		}
-		return m
-	}
-	m := &promMetric{name: n, help: help, typ: typ, fn: fn}
-	s.order = append(s.order, n)
-	s.byN[n] = m
-	return m
-}
-
-// Counter is a monotonically increasing metric.
-type Counter struct{ m *promMetric }
+// Registry exposes the backing metric registry, for snapshots and the
+// non-Prometheus exporters.
+func (s *PromSet) Registry() *metricreg.Registry { return s.reg }
 
 // Counter registers (or fetches) a counter.
 func (s *PromSet) Counter(name, help string) Counter {
-	return Counter{s.register(name, help, "counter", nil)}
+	return s.reg.Counter(name, help, "")
 }
-
-// Add increments the counter by n (n must be >= 0).
-func (c Counter) Add(n uint64) { c.m.bits.Add(n) }
-
-// Inc increments the counter by one.
-func (c Counter) Inc() { c.m.bits.Add(1) }
-
-// Value returns the current count.
-func (c Counter) Value() uint64 { return c.m.bits.Load() }
-
-// Gauge is a metric that can go up and down, stored as a float64.
-type Gauge struct{ m *promMetric }
 
 // Gauge registers (or fetches) a gauge.
 func (s *PromSet) Gauge(name, help string) Gauge {
-	return Gauge{s.register(name, help, "gauge", nil)}
+	return s.reg.Gauge(name, help, "")
 }
-
-// Set stores v.
-func (g Gauge) Set(v float64) { g.m.bits.Store(math.Float64bits(v)) }
-
-// Value returns the stored value.
-func (g Gauge) Value() float64 { return math.Float64frombits(g.m.bits.Load()) }
 
 // GaugeFunc registers a gauge whose value is computed at scrape time —
 // for quantities some other structure already owns (queue depth, live
 // entry counts). fn must be safe to call concurrently.
 func (s *PromSet) GaugeFunc(name, help string, fn func() float64) {
-	s.register(name, help, "gauge", fn)
+	s.reg.GaugeFunc(name, help, "", fn)
 }
 
 // CounterFunc registers a counter whose value is computed at scrape
@@ -125,33 +64,13 @@ func (s *PromSet) GaugeFunc(name, help string, fn func() float64) {
 // hit/miss counts). fn must be safe to call concurrently and must
 // never decrease, or rate()/increase() over the series break.
 func (s *PromSet) CounterFunc(name, help string, fn func() float64) {
-	s.register(name, help, "counter", fn)
+	s.reg.CounterFunc(name, help, "", fn)
 }
 
-// Write renders every registered metric in registration order.
+// Write renders every registered metric in registration order in the
+// Prometheus text exposition format (version 0.0.4).
 func (s *PromSet) Write(w io.Writer) error {
-	s.mu.Lock()
-	metrics := make([]*promMetric, len(s.order))
-	for i, n := range s.order {
-		metrics[i] = s.byN[n]
-	}
-	s.mu.Unlock()
-	for _, m := range metrics {
-		var v float64
-		switch {
-		case m.fn != nil:
-			v = m.fn()
-		case m.typ == "counter":
-			v = float64(m.bits.Load())
-		default:
-			v = math.Float64frombits(m.bits.Load())
-		}
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s%s %g\n",
-			m.name, m.help, m.name, m.typ, m.name, s.labels, v); err != nil {
-			return err
-		}
-	}
-	return nil
+	return metricreg.WriteProm(w, s.reg.Snapshot(), s.labels)
 }
 
 // Handler returns an http.Handler serving the set as a Prometheus

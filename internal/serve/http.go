@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/metricreg"
 )
 
 // Handler returns the service's HTTP API:
@@ -21,7 +23,13 @@ import (
 //	POST   /jobs/{id}/cancel  cancel a queued or running job
 //	DELETE /jobs/{id}         same as cancel
 //	GET    /metrics           Prometheus text exposition
+//	GET    /metrics.json      the same registry snapshot as JSON
+//	GET    /metrics.csv       the same registry snapshot as CSV
 //	GET    /healthz           200 serving / 503 draining
+//
+// The three metric endpoints render one registry snapshot each — the
+// central directory in internal/metricreg — so they can never disagree
+// about which metrics exist.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -32,6 +40,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.Handle("GET /metrics", s.Metrics.Handler())
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		metricreg.WriteJSON(w, s.Metrics.Registry().Snapshot())
+	})
+	mux.HandleFunc("GET /metrics.csv", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		metricreg.WriteCSV(w, s.Metrics.Registry().Snapshot())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -106,6 +122,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.jobs[job.ID] = job
 			s.met.submitted.Inc()
 			s.met.done.Inc()
+			job.Metrics = s.Metrics.Registry().Snapshot().Scalars()
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			writeJSON(w, http.StatusOK, submitResponse{ID: job.ID, State: StateDone, CacheHit: true})

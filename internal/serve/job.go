@@ -370,6 +370,12 @@ type Job struct {
 	PanicVal string
 	Stack    string
 
+	// Metrics is the service's scalar metric snapshot taken the moment
+	// the job reached its terminal state — queue depth, running jobs,
+	// cache traffic — so a job record carries the operational context it
+	// finished under.
+	Metrics map[string]float64
+
 	SubmittedAt time.Time
 	StartedAt   time.Time
 	FinishedAt  time.Time
@@ -396,6 +402,10 @@ type JobView struct {
 	StartedAt   *time.Time      `json:"started_at,omitempty"`
 	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
 	Events      []ProgressEvent `json:"events,omitempty"`
+
+	// Metrics is the scalar metric snapshot attached when the job
+	// finished (terminal states only).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // view snapshots the job for JSON encoding. Caller holds the server
@@ -416,6 +426,12 @@ func (j *Job) view(withEvents bool) JobView {
 	}
 	if withEvents {
 		v.Events = append([]ProgressEvent(nil), j.events...)
+		if j.Metrics != nil {
+			v.Metrics = make(map[string]float64, len(j.Metrics))
+			for k, val := range j.Metrics {
+				v.Metrics[k] = val
+			}
+		}
 	}
 	return v
 }

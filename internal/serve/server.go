@@ -499,7 +499,10 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
-// finishLocked moves a job to a terminal state. Caller holds s.mu.
+// finishLocked moves a job to a terminal state and stamps it with the
+// service's scalar metric snapshot. Caller holds s.mu; the snapshot's
+// pull functions read the queue, the running counter, and the cache —
+// none re-enter s.mu.
 func (s *Server) finishLocked(job *Job, state, errMsg string) {
 	job.State = state
 	if errMsg != "" {
@@ -515,6 +518,7 @@ func (s *Server) finishLocked(job *Job, state, errMsg string) {
 	case StateCanceled:
 		s.met.canceled.Inc()
 	}
+	job.Metrics = s.Metrics.Registry().Snapshot().Scalars()
 	s.cond.Broadcast()
 }
 

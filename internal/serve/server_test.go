@@ -821,3 +821,68 @@ func TestSimulateWithFaultPlan(t *testing.T) {
 		t.Fatalf("degraded result does not show the failed CE:\n%s", first)
 	}
 }
+
+// The registry gate: the three metric endpoints render the same
+// snapshot vocabulary, and a finished job record carries the scalar
+// snapshot it completed under.
+func TestMetricsEndpointsAndJobSnapshot(t *testing.T) {
+	cfg := fastCfg()
+	cfg.CacheDir = t.TempDir()
+	_, ts := newTestServer(t, cfg, nil)
+
+	_, sr, _ := submit(t, ts, smallSim)
+	waitTerminal(t, ts, sr.ID)
+
+	v := getJob(t, ts, sr.ID)
+	if v.Metrics == nil {
+		t.Fatal("finished job has no metric snapshot")
+	}
+	if v.Metrics["serve_jobs_done_total"] < 1 {
+		t.Fatalf("job snapshot serve_jobs_done_total = %g, want >= 1", v.Metrics["serve_jobs_done_total"])
+	}
+	if _, ok := v.Metrics["serve_cache_misses_total"]; !ok {
+		t.Fatalf("job snapshot missing cache metrics: %v", v.Metrics)
+	}
+
+	// JSON and CSV endpoints expose the same registry as /metrics.
+	resp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]float64{}
+	for _, m := range doc.Metrics {
+		if m.Value != nil {
+			names[m.Name] = *m.Value
+		}
+	}
+	if names["serve_jobs_submitted_total"] != 1 {
+		t.Fatalf("/metrics.json serve_jobs_submitted_total = %g, want 1", names["serve_jobs_submitted_total"])
+	}
+	if !strings.Contains(metricsText(t, ts), metricLine("cedar_serve_jobs_submitted_total", "1")) {
+		t.Fatal("/metrics disagrees with /metrics.json on serve_jobs_submitted_total")
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(raw), "metric,type,unit,key1,key2,value\n") {
+		t.Fatalf("/metrics.csv header:\n%s", raw)
+	}
+	if !strings.Contains(string(raw), "serve_jobs_submitted_total,counter,,,,1\n") {
+		t.Fatalf("/metrics.csv missing submitted counter:\n%s", raw)
+	}
+}

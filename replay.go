@@ -8,7 +8,6 @@ import (
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/faults/replay"
-	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/perfect"
 	"repro/internal/sim"
@@ -177,23 +176,38 @@ func mustConfig(name string) arch.Config {
 // canonical text block. Two replays of the same scenario produce
 // byte-identical StatfxText; the replay regression suite and cedarfuzz
 // compare runs with it.
+//
+// The block renders from the run's metric registry snapshot — the same
+// source every exporter reads — and is byte-identical to the original
+// direct rendering (golden-gated in testdata/golden/statfx_*.txt):
+// cycle counts round-trip the registry's float64 cells exactly below
+// 2^53, and float values are stored and read back bit-for-bit.
 func (r *Run) StatfxText() string {
 	res := r.Result
+	snap := r.Metrics().Snapshot()
 	var b strings.Builder
-	fmt.Fprintf(&b, "app=%s config=%s ct=%d failed_ces=%d\n", res.App, res.Cfg.Name, res.CT, res.FailedCEs)
-	fmt.Fprintf(&b, "faults seq=%d conc=%d\n", r.OS.SeqFaults(), r.OS.ConcFaults())
-	fmt.Fprintf(&b, "concurrency sampled=%.9f", res.SampledConcurrency)
-	for c, v := range res.Concurrency {
-		fmt.Fprintf(&b, " c%d=%.9f", c, v)
+	fmt.Fprintf(&b, "app=%s config=%s ct=%d failed_ces=%d\n", res.App, res.Cfg.Name,
+		int64(snap.Value("ct_cycles")), int64(snap.Value("result_failed_ces")))
+	fmt.Fprintf(&b, "faults seq=%d conc=%d\n",
+		int64(snap.Value("faults_sequential_total")), int64(snap.Value("faults_concurrent_total")))
+	fmt.Fprintf(&b, "concurrency sampled=%.9f", snap.Value("concurrency_sampled"))
+	cc, _ := snap.Get("concurrency_cluster")
+	for _, cell := range cc.Cells {
+		fmt.Fprintf(&b, " c%d=%.9f", cell.Key[0], cell.Value)
 	}
 	b.WriteString("\n")
-	for c := metrics.OSCategory(0); c < metrics.NumOSCategories; c++ {
-		fmt.Fprintf(&b, "os %-14s time=%d count=%d\n", c, res.OS.Time[c], res.OS.Count[c])
+	ot, _ := snap.Get("os_time_cycles")
+	oc, _ := snap.Get("os_events_total")
+	for i := range ot.Cells {
+		fmt.Fprintf(&b, "os %-14s time=%d count=%d\n",
+			ot.Cells[i].Label[0], int64(ot.Cells[i].Value), int64(oc.Cells[i].Value))
 	}
-	for _, a := range res.Accounts {
-		fmt.Fprintf(&b, "ce%d", a.CE())
-		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
-			fmt.Fprintf(&b, " %s=%d", c, a.Get(c))
+	bc, _ := snap.Get("ce_category_cycles")
+	for i := 0; i < len(bc.Cells); {
+		ce := bc.Cells[i].Key[0]
+		fmt.Fprintf(&b, "ce%d", ce)
+		for ; i < len(bc.Cells) && bc.Cells[i].Key[0] == ce; i++ {
+			fmt.Fprintf(&b, " %s=%d", bc.Cells[i].Label[1], int64(bc.Cells[i].Value))
 		}
 		b.WriteString("\n")
 	}
