@@ -298,20 +298,14 @@ func registerProbes(reg *metricreg.Registry, m *cluster.Machine) {
 		return n
 	}
 	reg.GaugeFunc("concurrency", "CEs active at the sampling instant", "ces", func() float64 {
-		return countCEs(func(ce *cluster.CE) bool { return ce.Busy().IsActive() })
+		return float64(m.ActiveCEs())
 	})
 	for ci := range m.Clusters {
-		cl := m.Clusters[ci]
+		ci := ci
 		reg.GaugeFunc(fmt.Sprintf("concurrency_c%d", ci),
 			fmt.Sprintf("CEs of cluster %d active at the sampling instant", ci), "ces",
 			func() float64 {
-				n := 0.0
-				for _, ce := range cl.CEs {
-					if ce.Busy().IsActive() {
-						n++
-					}
-				}
-				return n
+				return float64(m.ClusterActiveCEs(ci))
 			})
 	}
 	// The qmon split, sampled as how many CEs are in each execution

@@ -1,11 +1,16 @@
-// Command cedarbenchdiff gates benchmark regressions against a
-// committed baseline. It parses two `go test -json` benchmark logs —
-// the baseline (BENCH_kernel.json, committed at the repo root) and a
-// fresh run — converts each benchmark's ns/op into events per second,
-// and fails when a benchmark got slower than the baseline by more than
-// the tolerance:
+// Command cedarbenchdiff gates benchmark regressions against committed
+// baselines. It parses `go test -json` benchmark logs — one or more
+// baselines (committed at the repo root) and a fresh run — converts
+// each benchmark's ns/op into events per second, and fails when a
+// benchmark got slower than its baseline by more than the tolerance:
 //
-//	cedarbenchdiff -old BENCH_kernel.json -new bench_new.json [-tol 0.5]
+//	cedarbenchdiff -old BENCH_kernel.json -old BENCH_bigconfig.json \
+//	    -new bench_new.json [-tol 0.5]
+//
+// -old repeats (or takes a comma-separated list), so CI gates the
+// kernel micro-benchmarks and the big-configuration run in one
+// invocation. A benchmark name appearing in two baselines is an error:
+// it would be ambiguous which number gates.
 //
 // Results are keyed on the event's Test field (which carries no
 // -GOMAXPROCS suffix), so a baseline recorded on an 8-core machine
@@ -18,8 +23,14 @@
 // benchmark should update the baseline); a new run with no common
 // benchmarks fails, since that means the gate matched nothing.
 //
-// Exit status: 0 when every common benchmark is within tolerance,
-// 1 on regression or empty intersection, 2 on bad invocation.
+// -min-speedup inverts the gate for opt-in speedup checks: when set
+// above zero, every common benchmark must beat its baseline events/sec
+// by at least that factor (e.g. -min-speedup 1.3 demands the fresh run
+// is 1.3x the baseline). This is how the CEDAR_SPEEDUP_GATE CI step
+// proves an optimization PR actually outruns the pre-refactor capture.
+//
+// Exit status: 0 when every common benchmark passes, 1 on regression,
+// missed speedup, or empty intersection, 2 on bad invocation.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // nsOp matches the measurement line of a benchmark result inside a
@@ -77,10 +89,27 @@ func parse(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+// multiFlag collects a repeatable -old flag; each occurrence may also
+// carry a comma-separated list.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	for _, p := range strings.Split(v, ",") {
+		if p != "" {
+			*m = append(*m, p)
+		}
+	}
+	return nil
+}
+
 func main() {
-	oldPath := flag.String("old", "BENCH_kernel.json", "baseline go test -json benchmark log")
+	var oldPaths multiFlag
+	flag.Var(&oldPaths, "old", "baseline go test -json benchmark log (repeatable, or comma-separated; default BENCH_kernel.json)")
 	newPath := flag.String("new", "", "fresh go test -json benchmark log to gate")
 	tol := flag.Float64("tol", 0.5, "allowed slowdown fraction before failing (0.5 = new may be half the baseline's events/sec)")
+	minSpeedup := flag.Float64("min-speedup", 0, "when > 0, require every common benchmark's new/old events/sec ratio to reach this factor")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "cedarbenchdiff: -new is required")
@@ -91,11 +120,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cedarbenchdiff: -tol %v out of range [0,1)\n", *tol)
 		os.Exit(2)
 	}
-
-	oldNS, err := parse(*oldPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v\n", err)
+	if *minSpeedup < 0 {
+		fmt.Fprintf(os.Stderr, "cedarbenchdiff: -min-speedup %v must be >= 0\n", *minSpeedup)
 		os.Exit(2)
+	}
+	if len(oldPaths) == 0 {
+		oldPaths = multiFlag{"BENCH_kernel.json"}
+	}
+
+	oldNS := map[string]float64{}
+	oldSrc := map[string]string{}
+	for _, path := range oldPaths {
+		m, err := parse(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		for n, ns := range m {
+			if prev, dup := oldSrc[n]; dup {
+				fmt.Fprintf(os.Stderr, "cedarbenchdiff: benchmark %q appears in both %s and %s; ambiguous baseline\n",
+					n, prev, path)
+				os.Exit(2)
+			}
+			oldNS[n] = ns
+			oldSrc[n] = path
+		}
 	}
 	newNS, err := parse(*newPath)
 	if err != nil {
@@ -122,8 +171,12 @@ func main() {
 		newEv := 1e9 / ns
 		ratio := newEv / oldEv
 		verdict := ""
-		if ratio < 1.0-*tol {
+		switch {
+		case ratio < 1.0-*tol:
 			verdict = "  REGRESSION"
+			failed++
+		case *minSpeedup > 0 && ratio < *minSpeedup:
+			verdict = fmt.Sprintf("  BELOW %.2fx", *minSpeedup)
 			failed++
 		}
 		fmt.Printf("%-44s %14.4g %14.4g %7.2fx%s\n", n, oldEv, newEv, ratio, verdict)
@@ -139,9 +192,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cedarbenchdiff: no benchmark appears in both logs; the gate matched nothing")
 		os.Exit(1)
 	case failed > 0:
-		fmt.Fprintf(os.Stderr, "cedarbenchdiff: %d of %d benchmark(s) regressed beyond %.0f%% of the baseline events/sec\n",
-			failed, common, *tol*100)
+		if *minSpeedup > 0 {
+			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %d of %d benchmark(s) missed the gate (tolerance %.0f%%, min speedup %.2fx)\n",
+				failed, common, *tol*100, *minSpeedup)
+		} else {
+			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %d of %d benchmark(s) regressed beyond %.0f%% of the baseline events/sec\n",
+				failed, common, *tol*100)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("all %d common benchmark(s) within %.0f%% of baseline\n", common, *tol*100)
+	if *minSpeedup > 0 {
+		fmt.Printf("all %d common benchmark(s) within %.0f%% of baseline and at least %.2fx faster\n",
+			common, *tol*100, *minSpeedup)
+	} else {
+		fmt.Printf("all %d common benchmark(s) within %.0f%% of baseline\n", common, *tol*100)
+	}
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/perfect"
+	"repro/internal/profio"
 )
 
 // row is one machine's line of the study.
@@ -58,7 +59,20 @@ func main() {
 	weak := flag.Bool("weak", false, "weak-scale the problem by ceil(CEs/32) per machine")
 	csv := flag.Bool("csv", false, "emit the study as CSV")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
+	cpuProfile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the simulator process")
+	memProfile := flag.String("memprofile", "", "write a runtime/pprof heap profile at exit")
 	flag.Parse()
+
+	stopProf, err := profio.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarscale: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "cedarscale: profile: %v\n", err)
+		}
+	}()
 
 	app, ok := perfect.ByName(*appName)
 	if !ok {

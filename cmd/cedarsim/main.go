@@ -81,6 +81,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/perfect"
+	"repro/internal/profio"
 	"repro/internal/sim"
 )
 
@@ -143,6 +144,8 @@ func main() {
 	recordPath := flag.String("record-scenario", "", "with -fault: append the run's replay scenario line to this corpus file")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
 	profilePath := flag.String("profile", "", "write a folded-stack profile weighted by virtual cycles")
+	cpuProfile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the simulator process (wall-clock, not virtual cycles)")
+	memProfile := flag.String("memprofile", "", "write a runtime/pprof heap profile at exit")
 	seriesPath := flag.String("series", "", "write the sampled time series (CSV, or Prometheus text if *.prom)")
 	metricsPath := flag.String("metrics", "", "write the run's metric registry snapshot (Prometheus text if *.prom, JSON if *.json, CSV otherwise)")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
@@ -154,6 +157,16 @@ func main() {
 		printConfigs()
 		return
 	}
+	stopProf, err := profio.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "cedarsim: profile: %v\n", err)
+		}
+	}()
 	if *replayArg != "" {
 		// A scenario carries its own app, config, steps, and seed; the
 		// selection flags do not apply to a replay.

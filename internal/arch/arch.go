@@ -9,8 +9,9 @@
 // Config. The five configurations the paper measures (1–32 CEs behind
 // a two-stage network of 8x8 crossbars) are named members of the
 // family, alongside scaled machines the paper could not build
-// (Scaled64, Scaled128, Scaled256, Deep64) for capacity-planning
-// studies with the same overhead decomposition.
+// (Scaled64, Scaled128, Scaled256, Deep64, and the three-stage
+// Scaled1024/Scaled4096) for capacity-planning studies with the same
+// overhead decomposition.
 //
 // All times are in cycles of the CE clock. The clock is fixed at
 // 20 MHz so that one cycle equals 50 ns — the timestamp resolution of
@@ -220,11 +221,25 @@ var (
 	// 512 modules — the configuration that exercises k > 2 routing.
 	Deep64 = Config{Name: "64deep", Clusters: 8, CEsPerCluster: 8,
 		GMModules: 512, NetStages: 3, SwitchDegree: 8}
+	// Scaled1024 reaches the thousand-processor regime the many-core
+	// machine-model literature studies: 32 clusters of 32 CEs behind a
+	// three-stage network of 32x32 switches and 1024 modules (one per
+	// CE, keeping the family's 1:1 module ratio). 32 is the smallest
+	// degree whose CE-side wiring fits 32 clusters x 32 CEs, and three
+	// 32-wide stages address exactly 1024 module prefixes.
+	Scaled1024 = Config{Name: "1024proc", Clusters: 32, CEsPerCluster: 32,
+		GMModules: 1024, NetStages: 3, SwitchDegree: 32}
+	// Scaled4096 is the 4k-processor extreme: 64 clusters of 64 CEs,
+	// three stages of 64x64 switches, 4096 modules. Intended for
+	// capacity-planning sweeps and the intra-run benchmark trend, not
+	// for CI-budget runs.
+	Scaled4096 = Config{Name: "4096proc", Clusters: 64, CEsPerCluster: 64,
+		GMModules: 4096, NetStages: 3, SwitchDegree: 64}
 )
 
 // ScaledConfigs lists the scaled families in ascending CE order.
 func ScaledConfigs() []Config {
-	return []Config{Scaled64, Deep64, Scaled128, Scaled256}
+	return []Config{Scaled64, Deep64, Scaled128, Scaled256, Scaled1024, Scaled4096}
 }
 
 // Families returns every named configuration: the five paper
@@ -246,7 +261,8 @@ func FamilyByName(name string) (Config, bool) {
 		"cedar16": Cedar16, "cedar32": Cedar32,
 		"unclustered32": Unclustered32,
 		"scaled64":      Scaled64, "scaled128": Scaled128, "scaled256": Scaled256,
-		"deep64": Deep64,
+		"deep64":     Deep64,
+		"scaled1024": Scaled1024, "scaled4096": Scaled4096,
 	}
 	lower := strings.ToLower(name)
 	if c, ok := alias[lower]; ok {

@@ -113,6 +113,7 @@ func TestFamiliesAllValid(t *testing.T) {
 	want := map[string]int{
 		"1proc": 1, "4proc": 4, "8proc": 8, "16proc": 16, "32proc": 32,
 		"32flat": 32, "64proc": 64, "64deep": 64, "128proc": 128, "256proc": 256,
+		"1024proc": 1024, "4096proc": 4096,
 	}
 	fams := Families()
 	if len(fams) != len(want) {
@@ -140,13 +141,15 @@ func TestFamilyByName(t *testing.T) {
 		{"SCALED128", Scaled128},
 		{"deep64", Deep64},
 		{"32flat", Unclustered32},
+		{"1024proc", Scaled1024},
+		{"Scaled4096", Scaled4096},
 	} {
 		got, ok := FamilyByName(tc.name)
 		if !ok || got != tc.want {
 			t.Errorf("FamilyByName(%q) = %+v, %v; want %s", tc.name, got, ok, tc.want.Name)
 		}
 	}
-	if _, ok := FamilyByName("1024proc"); ok {
+	if _, ok := FamilyByName("9999proc"); ok {
 		t.Error("FamilyByName accepted an unknown name")
 	}
 }

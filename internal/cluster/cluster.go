@@ -37,6 +37,24 @@ type Machine struct {
 
 	gmBrk  int64 // bump allocator for global memory, in words
 	failed int   // CEs failed via CE.Fail
+
+	// Hot per-CE state, flattened into machine-owned struct-of-arrays
+	// indexed by global CE id. The event loop reads and writes these on
+	// every Spend, and the concurrency samplers scan them every
+	// sampling tick; keeping them in dense arrays (rather than fields
+	// of heap-scattered CE objects) is what makes sampling a
+	// 1024-4096-CE machine a linear cache-friendly walk.
+	busyCat  []metrics.Category // what each CE is doing right now
+	ceFailed []bool             // fail-stopped via CE.Fail
+	ceSlow   []float64          // clock degradation; 0 or 1 = healthy
+
+	// Contiguous backing storage and cached machine-order views. The
+	// views are built once at construction; callers must treat the
+	// returned slices as read-only.
+	ceBlock   []CE
+	acctBlock []metrics.Account
+	allCEs    []*CE
+	accounts  []*metrics.Account
 }
 
 // NewMachine builds the hardware for cfg on the given kernel.
@@ -50,6 +68,14 @@ func NewMachine(k *sim.Kernel, cfg arch.Config, cost arch.CostModel) *Machine {
 		Kernel: k,
 		GM:     gmem.New(cfg, cost),
 	}
+	n := cfg.CEs()
+	m.busyCat = make([]metrics.Category, n)
+	m.ceFailed = make([]bool, n)
+	m.ceSlow = make([]float64, n)
+	m.ceBlock = make([]CE, n)
+	m.acctBlock = metrics.NewAccountBlock(n)
+	m.allCEs = make([]*CE, n)
+	m.accounts = make([]*metrics.Account, n)
 	for c := 0; c < cfg.Clusters; c++ {
 		m.Clusters = append(m.Clusters, newCluster(m, c))
 	}
@@ -72,13 +98,35 @@ func (m *Machine) CE(global int) *CE {
 	return m.Clusters[id.Cluster].CEs[id.Local]
 }
 
-// AllCEs returns every CE in machine order.
-func (m *Machine) AllCEs() []*CE {
-	out := make([]*CE, 0, m.Cfg.CEs())
-	for _, cl := range m.Clusters {
-		out = append(out, cl.CEs...)
+// AllCEs returns every CE in machine order. The slice is a cached
+// view built at construction; callers must not mutate it.
+func (m *Machine) AllCEs() []*CE { return m.allCEs }
+
+// ActiveCEs returns how many CEs are in an active category right now —
+// the machine-wide statfx sampling quantity, computed as one scan of
+// the flat busy array.
+func (m *Machine) ActiveCEs() int {
+	n := 0
+	for _, c := range m.busyCat {
+		if c.IsActive() {
+			n++
+		}
 	}
-	return out
+	return n
+}
+
+// ClusterActiveCEs returns how many of cluster c's CEs are in an
+// active category right now. Global CE ids are contiguous per cluster,
+// so this is a scan of one dense segment of the busy array.
+func (m *Machine) ClusterActiveCEs(c int) int {
+	base := c * m.Cfg.CEsPerCluster
+	n := 0
+	for _, cat := range m.busyCat[base : base+m.Cfg.CEsPerCluster] {
+		if cat.IsActive() {
+			n++
+		}
+	}
+	return n
 }
 
 // LiveCEs returns the number of CEs that have not failed.
@@ -87,14 +135,9 @@ func (m *Machine) LiveCEs() int { return m.Cfg.CEs() - m.failed }
 // FailedCEs returns the number of CEs failed via CE.Fail.
 func (m *Machine) FailedCEs() int { return m.failed }
 
-// Accounts returns every CE's account in machine order.
-func (m *Machine) Accounts() []*metrics.Account {
-	out := make([]*metrics.Account, 0, m.Cfg.CEs())
-	for _, ce := range m.AllCEs() {
-		out = append(out, ce.Acct)
-	}
-	return out
-}
+// Accounts returns every CE's account in machine order. The slice is
+// a cached view built at construction; callers must not mutate it.
+func (m *Machine) Accounts() []*metrics.Account { return m.accounts }
 
 // Cluster is one Alliant FX/8: up to 8 CEs, a shared data cache, and
 // the concurrency-control bus that provides fast intra-cluster loop
@@ -117,13 +160,20 @@ func newCluster(m *Machine, id int) *Cluster {
 		ConcBus: sim.NewCalendar(fmt.Sprintf("cbus.c%d", id)),
 	}
 	for l := 0; l < m.Cfg.CEsPerCluster; l++ {
-		id := arch.CEID{Cluster: id, Local: l}
-		cl.CEs = append(cl.CEs, &CE{
-			ID:      id,
+		cid := arch.CEID{Cluster: id, Local: l}
+		g := cid.Global(m.Cfg)
+		ce := &m.ceBlock[g]
+		*ce = CE{
+			ID:      cid,
 			Cluster: cl,
-			Acct:    metrics.NewAccount(id.Global(m.Cfg)),
-			busyCat: metrics.CatIdle,
-		})
+			Acct:    &m.acctBlock[g],
+			mach:    m,
+			global:  g,
+		}
+		m.busyCat[g] = metrics.CatIdle
+		m.allCEs[g] = ce
+		m.accounts[g] = ce.Acct
+		cl.CEs = append(cl.CEs, ce)
 	}
 	return cl
 }
@@ -139,16 +189,18 @@ type CE struct {
 	Acct    *metrics.Account
 	Proc    *sim.Proc
 
-	busyCat metrics.Category // what the CE is doing right now (for samplers)
-	failed  bool
-	slow    float64 // clock degradation factor; 0 or 1 = healthy
+	// The CE's mutable hot state (busy category, failed flag, slow
+	// factor) lives in the machine's struct-of-arrays at index global;
+	// the CE object itself only carries identity and wiring.
+	mach   *Machine
+	global int
 }
 
 // Machine returns the machine the CE belongs to.
-func (ce *CE) Machine() *Machine { return ce.Cluster.Machine }
+func (ce *CE) Machine() *Machine { return ce.mach }
 
 // Global returns the machine-wide CE index.
-func (ce *CE) Global() int { return ce.ID.Global(ce.Cluster.Machine.Cfg) }
+func (ce *CE) Global() int { return ce.global }
 
 // Now returns the current virtual time.
 func (ce *CE) Now() sim.Time { return ce.Proc.Now() }
@@ -158,8 +210,8 @@ func (ce *CE) Now() sim.Time { return ce.Proc.Now() }
 // While the time passes, Busy reports cat (visible to sampling
 // monitors).
 func (ce *CE) Spend(d sim.Duration, cat metrics.Category) {
-	if ce.slow > 1 {
-		d = sim.Duration(float64(d)*ce.slow + 0.5)
+	if s := ce.mach.ceSlow[ce.global]; s > 1 {
+		d = sim.Duration(float64(d)*s + 0.5)
 	}
 	ce.spendRaw(d, cat)
 }
@@ -170,16 +222,17 @@ func (ce *CE) spendRaw(d sim.Duration, cat metrics.Category) {
 	if d <= 0 {
 		return
 	}
-	prev := ce.busyCat
-	ce.busyCat = cat
+	busy := ce.mach.busyCat
+	prev := busy[ce.global]
+	busy[ce.global] = cat
 	ce.Proc.Hold(d)
-	ce.busyCat = prev
+	busy[ce.global] = prev
 	ce.Acct.Add(cat, d)
 }
 
 // Busy returns the category the CE is spending time in right now, or
 // metrics.CatIdle if it is blocked or between activities.
-func (ce *CE) Busy() metrics.Category { return ce.busyCat }
+func (ce *CE) Busy() metrics.Category { return ce.mach.busyCat[ce.global] }
 
 // SpendUntil advances the CE to absolute time t, charged to cat. The
 // end time is externally fixed, so clock degradation does not apply.
@@ -193,16 +246,16 @@ func (ce *CE) SpendUntil(t sim.Time, cat metrics.Category) {
 // process unwinds through its deferred protocol cleanups and never
 // runs again. The CE's account freezes at the failure time. Idempotent.
 func (ce *CE) Fail() {
-	if ce.failed {
+	if ce.mach.ceFailed[ce.global] {
 		return
 	}
-	ce.failed = true
+	ce.mach.ceFailed[ce.global] = true
 	// A fail-stop can land mid-Spend: the abort unwinds out of Hold
 	// before spendRaw restores busyCat, which would leave the dead CE
 	// permanently "active" to sampling monitors (statfx would keep
 	// counting it toward concurrency). Park it explicitly.
-	ce.busyCat = metrics.CatIdle
-	m := ce.Cluster.Machine
+	ce.mach.busyCat[ce.global] = metrics.CatIdle
+	m := ce.mach
 	m.failed++
 	m.Obs.Instant(ce.Global(), "ce-fail", obs.CatFault, m.Kernel.Now(), 0)
 	if ce.Proc != nil {
@@ -211,15 +264,15 @@ func (ce *CE) Fail() {
 }
 
 // Failed reports whether the CE has fail-stopped.
-func (ce *CE) Failed() bool { return ce.failed }
+func (ce *CE) Failed() bool { return ce.mach.ceFailed[ce.global] }
 
 // SetSlowFactor degrades the CE's clock: every subsequent Spend takes
 // factor times as long. Factors <= 1 restore full speed.
-func (ce *CE) SetSlowFactor(factor float64) { ce.slow = factor }
+func (ce *CE) SetSlowFactor(factor float64) { ce.mach.ceSlow[ce.global] = factor }
 
 // SlowFactor returns the current clock degradation factor (0 or 1 =
 // healthy).
-func (ce *CE) SlowFactor() float64 { return ce.slow }
+func (ce *CE) SlowFactor() float64 { return ce.mach.ceSlow[ce.global] }
 
 // Charge records d cycles against cat without advancing time — used
 // when the wait already happened inside a blocking primitive.

@@ -16,8 +16,6 @@
 package gmem
 
 import (
-	"fmt"
-
 	"repro/internal/arch"
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -26,11 +24,29 @@ import (
 
 // Memory is the global memory with its interconnection networks.
 type Memory struct {
-	cfg     arch.Config
-	cost    arch.CostModel
-	net     *network.Pair
-	modules []*sim.Calendar
+	cfg  arch.Config
+	cost arch.CostModel
+	net  *network.Pair
+	// modules holds every module's conveyor state struct-of-arrays
+	// (entry mod is module mod) — the dense layout the per-access loop
+	// walks instead of one heap object per module.
+	modules *sim.CalendarStore
 	rec     *obs.Recorder
+
+	// Scratch buffers reused across Access calls to keep the hot path
+	// allocation-free. A Memory belongs to exactly one kernel and the
+	// simulation of one machine is single-threaded, so plain reuse is
+	// safe. scrMod/scrW/scrGroup describe each touched slice of the
+	// current vector; order lists slice indices bucketed by group
+	// (ascending index within each group); grpWords/grpCount/grpOff are
+	// per-group accumulators for the counting sort.
+	scrMod   []int
+	scrW     []int
+	scrGroup []int
+	order    []int
+	grpWords []int
+	grpCount []int
+	grpOff   []int
 
 	// Degraded-mode state: per-module service-time inflation factors
 	// (0 or 1 = healthy) and offline flags. Requests to an offline
@@ -55,14 +71,20 @@ const remapPenaltyCycles = 16
 // New creates the global memory for a configuration.
 func New(cfg arch.Config, cost arch.CostModel) *Memory {
 	m := &Memory{
-		cfg:  cfg,
-		cost: cost,
-		net:  network.NewPair(cfg, cost),
+		cfg:     cfg,
+		cost:    cost,
+		net:     network.NewPair(cfg, cost),
+		modules: sim.NewCalendarStore(cfg.GMModules),
 	}
-	m.modules = make([]*sim.Calendar, cfg.GMModules)
-	for i := range m.modules {
-		m.modules[i] = sim.NewCalendar(fmt.Sprintf("gm.m%d", i))
-	}
+	// A vector touches at most GMModules slices and Groups() groups, so
+	// the scratch buffers are sized once here and never grow.
+	m.scrMod = make([]int, cfg.GMModules)
+	m.scrW = make([]int, cfg.GMModules)
+	m.scrGroup = make([]int, cfg.GMModules)
+	m.order = make([]int, cfg.GMModules)
+	m.grpWords = make([]int, cfg.Groups())
+	m.grpCount = make([]int, cfg.Groups())
+	m.grpOff = make([]int, cfg.Groups())
 	return m
 }
 
@@ -185,64 +207,87 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 	var qNet, qMod sim.Duration
 	var lastReady sim.Time
 
+	// One pass over the touched slices classifies each by its serving
+	// module and top-level group (slices whose home module is offline
+	// travel to, and group with, the fallback module instead), then a
+	// counting sort buckets slice indices by group. The per-group walk
+	// below then visits exactly the members of each group — replacing
+	// the former groups x slices rescan, which dominated big-machine
+	// profiles — while preserving the identical reservation order:
+	// groups ascending, slices ascending within each group.
 	for g := 0; g < nGroups; g++ {
-		// Words of this access served by group g's modules. Slices
-		// whose home module is offline travel to (and group with) the
-		// fallback module instead.
-		groupWords := 0
-		for i := 0; i < touched; i++ {
-			mod := m.effModule((firstModule + i) % m.cfg.GMModules)
-			if mod/groupSpan != g {
-				continue
-			}
-			w := perModule
-			if i < extra {
-				w++
-			}
-			groupWords += w
+		m.grpWords[g] = 0
+		m.grpCount[g] = 0
+	}
+	for i := 0; i < touched; i++ {
+		home := firstModule + i
+		if home >= m.cfg.GMModules {
+			home -= m.cfg.GMModules
 		}
-		if groupWords == 0 {
+		mod := home
+		if m.nOffline > 0 {
+			mod = m.effModule(home)
+		}
+		w := perModule
+		if i < extra {
+			w++
+		}
+		g := mod / groupSpan
+		m.scrMod[i] = mod
+		m.scrW[i] = w
+		m.scrGroup[i] = g
+		m.grpWords[g] += w
+		m.grpCount[g]++
+	}
+	pos := 0
+	for g := 0; g < nGroups; g++ {
+		m.grpOff[g] = pos
+		pos += m.grpCount[g]
+	}
+	for i := 0; i < touched; i++ {
+		g := m.scrGroup[i]
+		m.order[m.grpOff[g]] = i
+		m.grpOff[g]++
+	}
+
+	idx := 0
+	for g := 0; g < nGroups; g++ {
+		cnt := m.grpCount[g]
+		if cnt == 0 {
 			continue
 		}
+		groupWords := m.grpWords[g]
 		// Forward stage 0: the cluster's port toward group g's subtree.
 		a0, q0 := m.net.Forward.Port(0, m.net.FwdStage0Port(ce, g), inject, groupWords)
 		qNet += q0
-		// Forward stages 1..k-1 and the modules themselves, per module.
+		// Forward stages 1..k-1 and the modules themselves, per module,
+		// each subtree traversed as one batched walk.
 		var groupReady sim.Time
-		for i := 0; i < touched; i++ {
-			home := (firstModule + i) % m.cfg.GMModules
-			mod := m.effModule(home)
-			if mod/groupSpan != g {
-				continue
-			}
-			w := perModule
-			if i < extra {
-				w++
+		for j := 0; j < cnt; j++ {
+			i := m.order[idx]
+			idx++
+			mod := m.scrMod[i]
+			w := m.scrW[i]
+			home := firstModule + i
+			if home >= m.cfg.GMModules {
+				home -= m.cfg.GMModules
 			}
 			if mod != home {
 				m.remapped++
 			}
-			aIn := a0
-			for si, port := range m.net.FwdModulePorts(mod) {
-				aNext, q := m.net.Forward.Port(1+si, port, aIn, w)
-				qNet += q
-				aIn = aNext
-			}
+			aIn, q := m.net.ReserveFwdSubtree(mod, a0, w)
+			qNet += q
 			busy := m.moduleBusy(mod, w, mod != home)
-			start, end := m.modules[mod].Reserve(aIn, busy)
+			start, end := m.modules.Reserve(mod, aIn, busy)
 			qMod += start - aIn
 			if end > groupReady {
 				groupReady = end
 			}
 		}
 		// Return stages 0..k-2: the group's switch back toward the
-		// cluster, then the cluster's subtree.
-		rIn := groupReady
-		for si, port := range m.net.RetGroupPorts(g, ce) {
-			rNext, q := m.net.Return.Port(si, port, rIn, groupWords)
-			qNet += q
-			rIn = rNext
-		}
+		// cluster, then the cluster's subtree, as one batched walk.
+		rIn, qr := m.net.ReserveRetGroup(g, ce, groupReady, groupWords)
+		qNet += qr
 		if rIn > lastReady {
 			lastReady = rIn
 		}
@@ -276,13 +321,7 @@ func (m *Memory) Access(at sim.Time, ce arch.CEID, addr int64, words int) (done 
 // the memory-side hot-spot pressure signal the time-series collector
 // samples.
 func (m *Memory) ModuleBacklog(now sim.Time) sim.Duration {
-	var max sim.Duration
-	for _, mod := range m.modules {
-		if b := mod.FreeAt() - now; b > max {
-			max = b
-		}
-	}
-	return max
+	return m.modules.MaxBacklog(now)
 }
 
 // IdealLatency returns the zero-contention completion time for an
@@ -338,9 +377,7 @@ func (m *Memory) Stats() Stats {
 		IdealTotal: m.idealTotal,
 		Remapped:   m.remapped,
 	}
-	for _, mod := range m.modules {
-		st.ModuleDelay += mod.DelayTotal()
-	}
+	st.ModuleDelay = m.modules.DelaySum()
 	st.NetworkDelay = m.net.Stats().DelayTotal
 	return st
 }
@@ -348,9 +385,9 @@ func (m *Memory) Stats() Stats {
 // ModuleUtilization returns per-module busy fractions at time now —
 // useful for spotting hot modules in tests and the trace tool.
 func (m *Memory) ModuleUtilization(now sim.Time) []float64 {
-	out := make([]float64, len(m.modules))
-	for i, mod := range m.modules {
-		out[i] = mod.Utilization(now)
+	out := make([]float64, m.modules.Len())
+	for i := range out {
+		out[i] = m.modules.Utilization(i, now)
 	}
 	return out
 }

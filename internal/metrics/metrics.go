@@ -123,6 +123,19 @@ type Account struct {
 // index.
 func NewAccount(ce int) *Account { return &Account{ce: ce} }
 
+// NewAccountBlock allocates n accounts in one contiguous block, with
+// global CE indices 0..n-1. The machine uses this so every CE's totals
+// live side by side — the accounting hot path (one Add per Spend) and
+// whole-machine folds then walk dense memory instead of n scattered
+// heap objects.
+func NewAccountBlock(n int) []Account {
+	block := make([]Account, n)
+	for i := range block {
+		block[i].ce = i
+	}
+	return block
+}
+
 // CE returns the global CE index the account belongs to.
 func (a *Account) CE() int { return a.ce }
 

@@ -17,12 +17,16 @@
 // realize (too many modules for the stage count, CE-side wiring wider
 // than the stages).
 //
-// Each crossbar output port is a pipelined bandwidth resource
-// (sim.Calendar). A message of W words occupies a port for
-// W*PortCyclesPerWord cycles; queueing at ports is the network half of
-// the paper's "global memory and network contention" overhead, and
-// hot spots (many CEs targeting one module, e.g. a busy-wait barrier
-// through global memory) emerge as deep port and module queues.
+// Each crossbar output port is a pipelined bandwidth resource. All
+// ports of one direction live in a single sim.CalendarStore indexed
+// stage*width+port — a struct-of-arrays layout, so the per-access port
+// walks of a big configuration touch dense slices instead of
+// pointer-chasing one heap object per port. A message of W words
+// occupies a port for W*PortCyclesPerWord cycles; queueing at ports is
+// the network half of the paper's "global memory and network
+// contention" overhead, and hot spots (many CEs targeting one module,
+// e.g. a busy-wait barrier through global memory) emerge as deep port
+// and module queues.
 package network
 
 import (
@@ -36,14 +40,21 @@ import (
 type Net struct {
 	cfg  arch.Config
 	cost arch.CostModel
-	// ports[s][i] is output port i of stage s. Stage 0 is the input
-	// stage. For the forward net, stage-1 output ports feed the
-	// memory modules; for the return net they feed the CEs.
-	ports [][]*sim.Calendar
-	// degrade[s][i] > 1 stretches port i of stage s: each word
+	dir  string // "fwd" or "ret", for diagnostic port names
+	// store holds every output port's conveyor state, flattened:
+	// port p of stage s is entry s*width+p. Stage 0 is the input
+	// stage. For the forward net, the last stage's output ports feed
+	// the memory modules; for the return net they feed the CEs.
+	store *sim.CalendarStore
+	width int
+	// stageDivs[s] is SwitchDegree^(NetStages-1-s): the divisor that
+	// extracts the destination prefix routed through at stage s,
+	// precomputed so route walks are pure integer arithmetic.
+	stageDivs []int
+	// degrade[s*width+p] > 1 stretches port p of stage s: each word
 	// occupies the port that many times longer (a flaky link running
 	// at reduced bandwidth). nil until a fault arms it.
-	degrade [][]float64
+	degrade []float64
 }
 
 // DegradePort stretches the bandwidth of one output port: words
@@ -51,38 +62,46 @@ type Net struct {
 // nominal speed.
 func (n *Net) DegradePort(stage, port int, factor float64) {
 	if n.degrade == nil {
-		n.degrade = make([][]float64, len(n.ports))
-		for s := range n.ports {
-			n.degrade[s] = make([]float64, len(n.ports[s]))
-		}
+		n.degrade = make([]float64, n.cfg.NetStages*n.width)
 	}
-	n.degrade[stage][port] = factor
+	n.degrade[stage*n.width+port] = factor
 }
 
 // portBusy returns the occupancy of a words-long burst at the given
 // port, including any degradation factor.
 func (n *Net) portBusy(stage, port, words int) sim.Duration {
 	busy := int64(words) * n.cost.PortCyclesPerWord
-	if n.degrade != nil && n.degrade[stage][port] > 1 {
-		busy = int64(float64(busy)*n.degrade[stage][port] + 0.5)
+	if n.degrade != nil {
+		if f := n.degrade[stage*n.width+port]; f > 1 {
+			busy = int64(float64(busy)*f + 0.5)
+		}
 	}
 	return sim.Duration(busy)
 }
 
+// portName synthesizes the diagnostic name of a port from its flat
+// store index.
+func (n *Net) portName(idx int) string {
+	return fmt.Sprintf("%s.s%d.p%d", n.dir, idx/n.width, idx%n.width)
+}
+
 // newNet builds one direction with the given name prefix.
 func newNet(cfg arch.Config, cost arch.CostModel, dir string) *Net {
-	n := &Net{cfg: cfg, cost: cost}
-	n.ports = make([][]*sim.Calendar, cfg.NetStages)
 	// Every stage is GMModules ports wide; on the CE side the wiring
 	// supports the full machine regardless of how many CEs the
 	// configuration populates — "the different Cedar configurations
 	// ... use the same interconnection network and memory".
 	width := cfg.NetWidth()
+	n := &Net{
+		cfg:       cfg,
+		cost:      cost,
+		dir:       dir,
+		store:     sim.NewCalendarStore(cfg.NetStages * width),
+		width:     width,
+		stageDivs: make([]int, cfg.NetStages),
+	}
 	for s := 0; s < cfg.NetStages; s++ {
-		n.ports[s] = make([]*sim.Calendar, width)
-		for i := 0; i < width; i++ {
-			n.ports[s][i] = sim.NewCalendar(fmt.Sprintf("%s.s%d.p%d", dir, s, i))
-		}
+		n.stageDivs[s] = stageDiv(cfg, s)
 	}
 	return n
 }
@@ -125,9 +144,9 @@ func stageDiv(cfg arch.Config, stage int) int {
 func (n *Net) fwdRoute(ce arch.CEID, module int) []int {
 	d := n.cfg.SwitchDegree
 	route := make([]int, n.cfg.NetStages)
-	route[0] = ce.Cluster*d + module/stageDiv(n.cfg, 0)
+	route[0] = ce.Cluster*d + module/n.stageDivs[0]
 	for s := 1; s < n.cfg.NetStages; s++ {
-		route[s] = module / stageDiv(n.cfg, s)
+		route[s] = module / n.stageDivs[s]
 	}
 	return route
 }
@@ -148,9 +167,9 @@ func (n *Net) revRoute(module int, ce arch.CEID) []int {
 		return []int{e}
 	}
 	route := make([]int, n.cfg.NetStages)
-	route[0] = (module/stageDiv(n.cfg, 0))*d + ce.Cluster
+	route[0] = (module/n.stageDivs[0])*d + ce.Cluster
 	for s := 1; s < n.cfg.NetStages; s++ {
-		route[s] = e / stageDiv(n.cfg, s)
+		route[s] = e / n.stageDivs[s]
 	}
 	return route
 }
@@ -180,7 +199,7 @@ func (n *Net) transit(at sim.Time, route []int, words int) (sim.Time, sim.Durati
 	var queued sim.Duration
 	t := at
 	for s, port := range route {
-		start, end := n.ports[s][port].Reserve(t, n.portBusy(s, port, words))
+		start, end := n.store.Reserve(s*n.width+port, t, n.portBusy(s, port, words))
 		queued += start - t
 		// The head of the message moves on after the stage latency;
 		// the tail clears the port at end. The next stage can begin
@@ -202,7 +221,7 @@ func (n *Net) Port(stage, port int, at sim.Time, words int) (sim.Time, sim.Durat
 	if words < 1 {
 		words = 1
 	}
-	start, end := n.ports[stage][port].Reserve(at, n.portBusy(stage, port, words))
+	start, end := n.store.Reserve(stage*n.width+port, at, n.portBusy(stage, port, words))
 	return end + sim.Duration(n.cost.StageLatency), start - at
 }
 
@@ -216,11 +235,12 @@ func (p *Pair) FwdStage0Port(ce arch.CEID, g int) int {
 // FwdModulePorts returns the forward port indices a message traverses
 // inside the module's subtree — stages 1..k-1, ending at the module's
 // own port. For the two-stage Cedar network this is just [module].
+// The hot path uses the allocation-free ReserveFwdSubtree instead.
 func (p *Pair) FwdModulePorts(module int) []int {
 	k := p.Forward.cfg.NetStages
 	ports := make([]int, 0, k-1)
 	for s := 1; s < k; s++ {
-		ports = append(ports, module/stageDiv(p.Forward.cfg, s))
+		ports = append(ports, module/p.Forward.stageDivs[s])
 	}
 	return ports
 }
@@ -229,7 +249,8 @@ func (p *Pair) FwdModulePorts(module int) []int {
 // top-level group g traverses before the CE's private link — stages
 // 0..k-2, leaving the group's switch toward the CE's cluster and
 // funneling through the cluster's subtree. For the two-stage Cedar
-// network this is just [g*d + cluster].
+// network this is just [g*d + cluster]. The hot path uses the
+// allocation-free ReserveRetGroup instead.
 func (p *Pair) RetGroupPorts(g int, ce arch.CEID) []int {
 	cfg := p.Return.cfg
 	d := cfg.SwitchDegree
@@ -240,9 +261,58 @@ func (p *Pair) RetGroupPorts(g int, ce arch.CEID) []int {
 	}
 	e := ce.Cluster*d + ce.Local
 	for s := 1; s < k-1; s++ {
-		ports = append(ports, e/stageDiv(cfg, s))
+		ports = append(ports, e/p.Return.stageDivs[s])
 	}
 	return ports
+}
+
+// ReserveFwdSubtree carries one module slice through forward stages
+// 1..k-1 in a single walk: the batched form of calling Port along
+// FwdModulePorts, with the per-call route slice and repeated divisor
+// recomputation coalesced into one pass over the store. It returns the
+// time the slice has fully arrived at the module's input and the
+// queueing delay accumulated at the traversed ports.
+func (p *Pair) ReserveFwdSubtree(module int, at sim.Time, words int) (arrive sim.Time, queued sim.Duration) {
+	n := p.Forward
+	if words < 1 {
+		words = 1
+	}
+	t := at
+	for s := 1; s < n.cfg.NetStages; s++ {
+		port := module / n.stageDivs[s]
+		start, end := n.store.Reserve(s*n.width+port, t, n.portBusy(s, port, words))
+		queued += start - t
+		t = end + sim.Duration(n.cost.StageLatency)
+	}
+	return t, queued
+}
+
+// ReserveRetGroup carries a group's reply burst through return stages
+// 0..k-2 in a single walk: the batched form of calling Port along
+// RetGroupPorts. It returns the time the burst has cleared the last
+// group stage and the queueing delay accumulated on the way.
+func (p *Pair) ReserveRetGroup(g int, ce arch.CEID, at sim.Time, words int) (arrive sim.Time, queued sim.Duration) {
+	n := p.Return
+	if words < 1 {
+		words = 1
+	}
+	d := n.cfg.SwitchDegree
+	k := n.cfg.NetStages
+	t := at
+	if k >= 2 {
+		port := g*d + ce.Cluster
+		start, end := n.store.Reserve(port, t, n.portBusy(0, port, words))
+		queued += start - t
+		t = end + sim.Duration(n.cost.StageLatency)
+	}
+	e := ce.Cluster*d + ce.Local
+	for s := 1; s < k-1; s++ {
+		port := e / n.stageDivs[s]
+		start, end := n.store.Reserve(s*n.width+port, t, n.portBusy(s, port, words))
+		queued += start - t
+		t = end + sim.Duration(n.cost.StageLatency)
+	}
+	return t, queued
 }
 
 // RetCEPort returns the final return-stage port index feeding the CE —
@@ -264,14 +334,11 @@ type PortStats struct {
 func (p *Pair) Stats() PortStats {
 	var st PortStats
 	for _, n := range []*Net{p.Forward, p.Return} {
-		for _, stage := range n.ports {
-			for _, port := range stage {
-				st.Reservations += port.Reservations()
-				st.BusyTotal += port.BusyTotal()
-				st.DelayTotal += port.DelayTotal()
-				st.Delayed += port.Delayed()
-			}
-		}
+		res, busy, delay, delayed := n.store.Totals()
+		st.Reservations += res
+		st.BusyTotal += busy
+		st.DelayTotal += delay
+		st.Delayed += delayed
 	}
 	return st
 }
@@ -284,12 +351,8 @@ func (p *Pair) Stats() PortStats {
 func (p *Pair) Backlog(now sim.Time) sim.Duration {
 	var max sim.Duration
 	for _, n := range []*Net{p.Forward, p.Return} {
-		for _, stage := range n.ports {
-			for _, port := range stage {
-				if b := port.FreeAt() - now; b > max {
-					max = b
-				}
-			}
+		if b := n.store.MaxBacklog(now); b > max {
+			max = b
 		}
 	}
 	return max
@@ -299,13 +362,9 @@ func (p *Pair) Backlog(now sim.Time) sim.Duration {
 // single port — a hot-spot indicator.
 func (p *Pair) MaxPortDelay() (name string, delay sim.Duration) {
 	for _, n := range []*Net{p.Forward, p.Return} {
-		for _, stage := range n.ports {
-			for _, port := range stage {
-				if port.DelayTotal() > delay {
-					delay = port.DelayTotal()
-					name = port.Name()
-				}
-			}
+		if idx, d := n.store.MaxDelayIndex(); d > delay {
+			delay = d
+			name = n.portName(idx)
 		}
 	}
 	return name, delay

@@ -1,0 +1,75 @@
+// Package profio arms the standard runtime/pprof profilers for a
+// command-line run. It exists to keep the distinction clear: the obs
+// layer's -profile flag writes folded stacks weighted by *virtual*
+// cycles (where the simulated machine spends its time), while profio
+// profiles the simulator process itself in wall-clock terms — the
+// measurement the intra-run fast path (calendar-tiered event queue,
+// struct-of-arrays machine state) is tuned against.
+//
+// Usage from a main:
+//
+//	stop, err := profio.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// Either path may be empty to disable that profile. Stop ends the CPU
+// profile and, after a forced GC, writes the heap profile so the
+// memory numbers reflect live data rather than collectable garbage.
+package profio
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles and returns a stop function
+// that finalizes them. The stop function is idempotent, so it is safe
+// to both defer it and call it explicitly before a normal exit. A
+// non-nil error means no profile was started and nothing needs
+// stopping.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	stop := func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("write heap profile: %w", werr)
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -1,0 +1,66 @@
+package profio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesBothProfiles: a run with both paths set produces two
+// non-empty pprof files, and calling stop twice is harmless.
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	sink := 0
+	for i := 0; i < 1<<20; i++ {
+		sink += i ^ (i >> 3)
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// TestStartEmptyPathsIsNoop: with both paths empty nothing is created
+// and stop succeeds.
+func TestStartEmptyPathsIsNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartBadPath: an uncreatable CPU profile path fails up front
+// with no profile running.
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("expected error for uncreatable path")
+	}
+	// The profiler must not be left running: a second Start succeeds.
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestCalendarTierMatchesReferenceOrder is the equivalence property for
+// the two-tier pending queue: over randomized schedule/cancel workloads
+// — including events landing exactly on the calHorizon bucket boundary,
+// same-cycle ties, far-future events that the clock later catches up
+// with, and runs long enough to wrap the bucket ring many times — the
+// kernel must dispatch exactly the events a single reference queue
+// would, in exactly its (time, insertion-sequence) order.
+//
+// The reference model is deliberately trivial: every scheduled event is
+// recorded with its fire time and a monotonically increasing insertion
+// index (the kernel assigns seq in the same order Schedule is called),
+// cancellations mark it dead, and the expected dispatch order is the
+// surviving events stable-sorted by fire time. Any routing mistake in
+// the tiered queue — a bucket aliasing a wrapped future time, a cursor
+// scanning a stale bucket, a heap/calendar head comparison dropping the
+// seq tiebreak — shows up as an order difference.
+func TestCalendarTierMatchesReferenceOrder(t *testing.T) {
+	const trials = 25
+	const maxEvents = 4000
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		k := NewKernel(1)
+
+		type refEvent struct {
+			at       Time
+			id       int
+			canceled bool
+		}
+		var ref []refEvent
+		var handles []Event
+		var got []int
+
+		// Delta menu biased toward the interesting spots: same cycle,
+		// dense near-horizon band, the exact calHorizon boundary and its
+		// neighbors (calendar vs heap routing), and far-future times that
+		// enter the window only as the clock advances (including exact
+		// multiples of the horizon, which alias the same bucket index).
+		deltas := []Duration{
+			0, 1, 2, 7,
+			calHorizon - 1, calHorizon, calHorizon + 1,
+			2 * calHorizon, 3*calHorizon + 5,
+			Duration(rng.Intn(calHorizon)),
+			Duration(calHorizon + rng.Intn(4*calHorizon)),
+		}
+
+		var schedule func(at Time)
+		schedule = func(at Time) {
+			id := len(ref)
+			ref = append(ref, refEvent{at: at, id: id})
+			ev := k.Schedule(at, func() {
+				got = append(got, id)
+				// Fired events mutate the queue mid-run: schedule more
+				// (moving the window across bucket-ring wraps) and
+				// cancel random pending events in either tier.
+				for n := rng.Intn(3); n > 0 && len(ref) < maxEvents; n-- {
+					schedule(k.Now() + deltas[rng.Intn(len(deltas))])
+				}
+				if rng.Intn(3) == 0 && len(handles) > 0 {
+					victim := rng.Intn(len(handles))
+					if handles[victim].Cancel() {
+						ref[victim].canceled = true
+					}
+				}
+			})
+			handles = append(handles, ev)
+		}
+
+		// Seed the run from outside, all relative to time zero.
+		for i := 0; i < 40; i++ {
+			schedule(Time(deltas[rng.Intn(len(deltas))]))
+		}
+		if _, err := k.RunAllErr(); err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+
+		// Reference dispatch order: survivors stable-sorted by time.
+		// Stability preserves insertion order, which is the kernel's seq
+		// tiebreak because this test is the only scheduler.
+		var want []int
+		surviving := make([]refEvent, 0, len(ref))
+		for _, e := range ref {
+			if !e.canceled {
+				surviving = append(surviving, e)
+			}
+		}
+		sort.SliceStable(surviving, func(i, j int) bool {
+			return surviving[i].at < surviving[j].at
+		})
+		for _, e := range surviving {
+			want = append(want, e.id)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: dispatched %d events, reference says %d",
+				trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dispatch %d fired event %d (t=%d), reference says %d (t=%d)",
+					trial, i, got[i], ref[got[i]].at, want[i], ref[want[i]].at)
+			}
+		}
+		if !k.Idle() {
+			t.Fatalf("trial %d: events left pending after RunAll", trial)
+		}
+	}
+}
+
+// TestCalendarTierCancelPendingAcrossTiers pins Event semantics across
+// tier migration scenarios: a handle to a far-future (heap) event and a
+// handle to a near-horizon (calendar) event both report Pending, both
+// cancel exactly once, and a stale handle stays a no-op after the
+// kernel recycles the node for a new event in the other tier.
+func TestCalendarTierCancelPendingAcrossTiers(t *testing.T) {
+	k := NewKernel(1)
+	near := k.Schedule(3, func() { t.Fatal("near fired") })
+	far := k.Schedule(calHorizon*5, func() { t.Fatal("far fired") })
+	if !near.Pending() || !far.Pending() {
+		t.Fatal("fresh events not pending")
+	}
+	if !near.Cancel() || !far.Cancel() {
+		t.Fatal("first cancel did not take effect")
+	}
+	if near.Cancel() || far.Cancel() || near.Pending() || far.Pending() {
+		t.Fatal("canceled events still cancelable or pending")
+	}
+	// The recycled nodes get reused (LIFO free list): new events in the
+	// opposite tier must not revive the stale handles.
+	k.Schedule(1, func() {})
+	k.Schedule(calHorizon*2, func() {})
+	if near.Pending() || far.Pending() {
+		t.Fatal("stale handles revived by node reuse")
+	}
+	if n := k.RunAll(); n != 2 {
+		t.Fatalf("fired %d events, want 2", n)
+	}
+}

@@ -14,11 +14,23 @@
 //
 // The event core is allocation-free in the steady state: event nodes
 // live in a kernel-owned free list and are recycled the moment they
-// fire or are canceled, the pending queue is an inlined 4-ary min-heap
-// of typed nodes (no container/heap interface{} boxing), and process
-// wake-ups carry the *Proc directly instead of a per-wake closure.
-// Schedule/Hold in a warmed-up simulation therefore performs zero heap
-// allocations per operation.
+// fire or are canceled, the pending queue is tiered (see below), and
+// process wake-ups carry the *Proc directly instead of a per-wake
+// closure. Schedule/Hold in a warmed-up simulation therefore performs
+// zero heap allocations per operation.
+//
+// The pending queue has two tiers. Events within a near-horizon window
+// of the clock — the dense per-cycle band produced by network port and
+// memory module reservations — go into a calendar of fixed-width
+// (one-cycle) time buckets with O(1) insert and extract: because the
+// window is exactly as wide as the bucket ring, every live bucket holds
+// a single fire time, and because insertion sequence numbers grow
+// monotonically, appending to a bucket's intrusive list keeps it sorted
+// by (time, seq) for free. Far-future events (watchdogs, samplers,
+// long holds behind a backlogged port) go into an inlined typed 4-ary
+// min-heap (no container/heap interface{} boxing). Dispatch compares
+// the heads of both tiers, preserving the exact (time, seq) total
+// order of a single queue.
 package sim
 
 import (
@@ -36,7 +48,23 @@ type Duration = Time
 // Forever is a time later than any event a simulation will schedule.
 const Forever Time = 1<<62 - 1
 
-// eventNode is a pooled entry of the kernel's pending-event heap. A
+// calHorizon is the width of the calendar tier's near-horizon window
+// in cycles, and equally the number of one-cycle buckets in its ring.
+// Must be a power of two. Events scheduled less than calHorizon cycles
+// ahead of the clock take the O(1) bucket path; everything further out
+// takes the heap.
+const calHorizon = 512
+
+// calMask maps a fire time to its bucket index.
+const calMask = calHorizon - 1
+
+// Sentinel values of eventNode.pos that mean "not in the heap".
+const (
+	posFree     = -1 // not queued anywhere (free, fired, or canceled)
+	posCalendar = -2 // queued in a calendar bucket
+)
+
+// eventNode is a pooled entry of the kernel's pending-event queue. A
 // node belongs to its kernel for the kernel's whole lifetime: when the
 // event fires or is canceled the node goes back on the free list and
 // its generation is bumped, which invalidates every outstanding Event
@@ -46,9 +74,19 @@ type eventNode struct {
 	at   Time
 	seq  uint64
 	gen  uint64
-	pos  int32  // index in the heap; -1 when not queued
+	pos  int32  // heap index, or posCalendar / posFree
 	proc *Proc  // wake target (the closure-free hot path), or nil
 	fn   func() // callback when proc is nil
+
+	// Intrusive doubly-linked list pointers for the calendar bucket the
+	// node sits in while pos == posCalendar.
+	next, prev *eventNode
+}
+
+// calBucket is one slot of the calendar ring: a FIFO of events sharing
+// a single fire time, linked through the nodes themselves.
+type calBucket struct {
+	head, tail *eventNode
 }
 
 // Event is a cancelable handle to a scheduled callback. It is a value
@@ -69,7 +107,7 @@ func (e Event) Time() Time { return e.at }
 
 // Pending reports whether the event is still queued to fire.
 func (e Event) Pending() bool {
-	return e.n != nil && e.n.gen == e.gen && e.n.pos >= 0
+	return e.n != nil && e.n.gen == e.gen && e.n.pos != posFree
 }
 
 // Cancel prevents the event from firing. The event is removed from the
@@ -79,11 +117,15 @@ func (e Event) Pending() bool {
 // reports whether the cancellation took effect.
 func (e Event) Cancel() bool {
 	n := e.n
-	if n == nil || n.gen != e.gen || n.pos < 0 {
+	if n == nil || n.gen != e.gen || n.pos == posFree {
 		return false
 	}
 	k := n.k
-	k.heapRemove(int(n.pos))
+	if n.pos == posCalendar {
+		k.calRemove(n)
+	} else {
+		k.heapRemove(int(n.pos))
+	}
 	k.recycle(n)
 	return true
 }
@@ -91,10 +133,19 @@ func (e Event) Cancel() bool {
 // Kernel is a discrete-event simulation kernel. The zero value is not
 // usable; call NewKernel.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	heap    []*eventNode // 4-ary min-heap ordered by (at, seq)
-	free    []*eventNode // recycled nodes, ready for reuse
+	now  Time
+	seq  uint64
+	heap []*eventNode // far-future tier: 4-ary min-heap ordered by (at, seq)
+	free []*eventNode // recycled nodes, ready for reuse
+
+	// Near-horizon tier: a ring of one-cycle buckets covering
+	// [now, now+calHorizon). calCount is the number of events in the
+	// ring; calCursor is a lower bound on the earliest live bucket time
+	// (no live calendar event fires before it).
+	cal       [calHorizon]calBucket
+	calCount  int
+	calCursor Time
+
 	running *Proc
 	yielded chan struct{}
 	procs   []*Proc
@@ -135,9 +186,10 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // EventsFired returns the number of events dispatched so far.
 func (k *Kernel) EventsFired() uint64 { return k.dispatched }
 
-// PendingEvents returns the number of events currently queued. Since
-// canceled events are removed eagerly, every pending event will fire.
-func (k *Kernel) PendingEvents() int { return len(k.heap) }
+// PendingEvents returns the number of events currently queued (both
+// tiers). Since canceled events are removed eagerly, every pending
+// event will fire.
+func (k *Kernel) PendingEvents() int { return len(k.heap) + k.calCount }
 
 // alloc takes a node from the free list, or mints one on first use.
 func (k *Kernel) alloc() *eventNode {
@@ -147,7 +199,7 @@ func (k *Kernel) alloc() *eventNode {
 		k.free = k.free[:n-1]
 		return e
 	}
-	return &eventNode{k: k, pos: -1}
+	return &eventNode{k: k, pos: posFree}
 }
 
 // recycle invalidates every outstanding handle to the node and returns
@@ -156,7 +208,7 @@ func (k *Kernel) recycle(e *eventNode) {
 	e.gen++
 	e.fn = nil
 	e.proc = nil
-	e.pos = -1
+	e.pos = posFree
 	k.free = append(k.free, e)
 }
 
@@ -170,7 +222,7 @@ func (k *Kernel) Schedule(at Time, fn func()) Event {
 	e := k.alloc()
 	e.at, e.seq, e.fn = at, k.seq, fn
 	k.seq++
-	k.heapPush(e)
+	k.push(e)
 	return Event{n: e, gen: e.gen, at: at}
 }
 
@@ -182,7 +234,105 @@ func (k *Kernel) scheduleProc(at Time, p *Proc) {
 	e := k.alloc()
 	e.at, e.seq, e.proc = at, k.seq, p
 	k.seq++
-	k.heapPush(e)
+	k.push(e)
+}
+
+// push routes a freshly-stamped node to its tier: the calendar ring
+// when it fires within the near-horizon window, the heap otherwise.
+func (k *Kernel) push(e *eventNode) {
+	if e.at-k.now < calHorizon {
+		k.calPush(e)
+	} else {
+		k.heapPush(e)
+	}
+}
+
+// calPush appends the node to its time's bucket. Every live calendar
+// event fires within [now, now+calHorizon), so bucket index collisions
+// between different fire times are impossible (they would be a full
+// window apart), and appending keeps the bucket sorted by seq because
+// sequence numbers only grow.
+func (k *Kernel) calPush(e *eventNode) {
+	b := &k.cal[int(e.at)&calMask]
+	e.prev = b.tail
+	e.next = nil
+	if b.tail != nil {
+		b.tail.next = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
+	e.pos = posCalendar
+	if k.calCount == 0 || e.at < k.calCursor {
+		k.calCursor = e.at
+	}
+	k.calCount++
+}
+
+// calRemove unlinks the node from its bucket (cancel, or dispatch of
+// the bucket head).
+func (k *Kernel) calRemove(e *eventNode) {
+	b := &k.cal[int(e.at)&calMask]
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.next, e.prev = nil, nil
+	e.pos = posFree
+	k.calCount--
+}
+
+// calHead returns the earliest calendar event without removing it, or
+// nil when the ring is empty. The cursor sweep is amortized O(1): the
+// cursor only moves forward over a bucket it found empty, and an
+// insert only pulls it back to a time that is guaranteed occupied.
+func (k *Kernel) calHead() *eventNode {
+	if k.calCount == 0 {
+		return nil
+	}
+	if k.calCursor < k.now {
+		// The clock advanced past the cursor (a heap event fired in a
+		// calendar-quiet stretch). Buckets behind now are necessarily
+		// empty, and scanning them could alias wrapped future times.
+		k.calCursor = k.now
+	}
+	for {
+		if e := k.cal[int(k.calCursor)&calMask].head; e != nil {
+			return e
+		}
+		k.calCursor++
+	}
+}
+
+// peek returns the earliest pending event across both tiers without
+// removing it, preserving the (time, seq) total order a single queue
+// would give, or nil when nothing is pending.
+func (k *Kernel) peek() *eventNode {
+	c := k.calHead()
+	if len(k.heap) == 0 {
+		return c
+	}
+	h := k.heap[0]
+	if c == nil || less(h, c) {
+		return h
+	}
+	return c
+}
+
+// pop removes the given event — necessarily a tier head returned by
+// peek — from its tier.
+func (k *Kernel) pop(e *eventNode) {
+	if e.pos == posCalendar {
+		k.calRemove(e)
+	} else {
+		k.heapRemove(int(e.pos))
+	}
 }
 
 // After registers fn to run d cycles from now.
@@ -296,13 +446,16 @@ func (k *Kernel) Run(until Time) uint64 {
 // remaining processes.
 func (k *Kernel) RunErr(until Time) (uint64, error) {
 	var fired uint64
-	for len(k.heap) > 0 {
+	for {
+		next := k.peek()
+		if next == nil {
+			break
+		}
 		if k.interrupt != nil && k.dispatched%k.interruptEvery == 0 {
 			if cause := k.interrupt(); cause != nil {
 				return fired, &CanceledError{At: k.now, Cause: cause}
 			}
 		}
-		next := k.heap[0]
 		if next.at > until {
 			break
 		}
@@ -312,7 +465,7 @@ func (k *Kernel) RunErr(until Time) (uint64, error) {
 		if next.at < k.now {
 			panic("sim: event queue time went backwards")
 		}
-		k.heapRemove(0)
+		k.pop(next)
 		k.now = next.at
 		// Recycle before dispatch: the node is free for reuse by
 		// anything the callback schedules, and the generation bump
@@ -432,9 +585,10 @@ func (k *Kernel) deadlockError() *DeadlockError {
 	return e
 }
 
-// Idle reports whether no events are pending. Canceled events leave
-// the queue immediately, so an idle kernel holds no dead entries.
-func (k *Kernel) Idle() bool { return len(k.heap) == 0 }
+// Idle reports whether no events are pending in either tier. Canceled
+// events leave the queue immediately, so an idle kernel holds no dead
+// entries.
+func (k *Kernel) Idle() bool { return len(k.heap) == 0 && k.calCount == 0 }
 
 // LiveProcs returns the number of spawned processes that have not yet
 // finished.

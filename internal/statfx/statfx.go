@@ -48,12 +48,11 @@ func (s *Sampler) schedule() {
 			return
 		}
 		s.samples++
-		for ci, cl := range s.m.Clusters {
-			for _, ce := range cl.CEs {
-				if ce.Busy().IsActive() {
-					s.sums[ci]++
-				}
-			}
+		// One dense scan per cluster over the machine's flat busy
+		// array — the sampler fires every interval for the whole run,
+		// so it must not pointer-chase per-CE objects.
+		for ci := range s.sums {
+			s.sums[ci] += uint64(s.m.ClusterActiveCEs(ci))
 		}
 		s.schedule()
 	})

@@ -22,9 +22,18 @@ func TestStatfxTextMatchesGolden(t *testing.T) {
 		golden string
 		app    string
 		plan   string
+		cfg    arch.Config
 	}{
-		{golden: "testdata/golden/statfx_flo52_8p.txt", app: "FLO52"},
-		{golden: "testdata/golden/statfx_ocean_8p_fault.txt", app: "OCEAN", plan: "ce:1@76414"},
+		{golden: "testdata/golden/statfx_flo52_8p.txt", app: "FLO52", cfg: arch.Cedar8},
+		{golden: "testdata/golden/statfx_ocean_8p_fault.txt", app: "OCEAN", plan: "ce:1@76414", cfg: arch.Cedar8},
+		// The Scaled64–256 (and three-stage Deep64) captures predate the
+		// struct-of-arrays machine state and the calendar-tiered event
+		// queue; a drifted byte here means the intra-run fast path
+		// changed simulation results, not just simulation speed.
+		{golden: "testdata/golden/statfx_flo52_scaled64.txt", app: "FLO52", cfg: arch.Scaled64},
+		{golden: "testdata/golden/statfx_ocean_scaled128.txt", app: "OCEAN", cfg: arch.Scaled128},
+		{golden: "testdata/golden/statfx_flo52_scaled256.txt", app: "FLO52", cfg: arch.Scaled256},
+		{golden: "testdata/golden/statfx_mdg_deep64.txt", app: "MDG", cfg: arch.Deep64},
 	}
 	for _, tc := range cases {
 		want, err := os.ReadFile(tc.golden)
@@ -38,7 +47,7 @@ func TestStatfxTextMatchesGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		got := SimulateRun(app, arch.Cedar8, opts).StatfxText()
+		got := SimulateRun(app, tc.cfg, opts).StatfxText()
 		if got != string(want) {
 			t.Fatalf("%s: StatfxText differs from golden:\n%s", tc.golden, got)
 		}

@@ -33,6 +33,39 @@ func TestScaledConfigsSimulate(t *testing.T) {
 	}
 }
 
+// TestScaled1024Smoke is the thousand-processor gate: the Scaled1024
+// member builds, a short run completes inside the CI time budget, and
+// the conservation invariants hold — no CE accounts more time than the
+// completion time, and the memory subsystem's contention accounting
+// never goes negative (stall >= ideal, both nonnegative). It pins that
+// the struct-of-arrays machine state and three-stage 32x32 routing
+// stay consistent at a scale the golden tables do not cover.
+func TestScaled1024Smoke(t *testing.T) {
+	cfg := arch.Scaled1024
+	res := Simulate(perfect.FLO52(), cfg, Options{Steps: 1})
+	if res.CT <= 0 {
+		t.Fatal("no completion time")
+	}
+	if len(res.Accounts) != 1024 {
+		t.Fatalf("%d CE accounts, want 1024", len(res.Accounts))
+	}
+	for _, a := range res.Accounts {
+		if a.Total() > res.CT {
+			t.Fatalf("CE %d accounted %d cycles > CT %d", a.CE(), a.Total(), res.CT)
+		}
+	}
+	if res.GM.Accesses == 0 {
+		t.Fatal("no global memory traffic")
+	}
+	if res.GM.IdealTotal < 0 || res.GM.StallTotal < res.GM.IdealTotal {
+		t.Fatalf("memory time not conserved: stall %d < ideal %d",
+			res.GM.StallTotal, res.GM.IdealTotal)
+	}
+	if c := res.MachineConcurrency(); c <= 1 || c > float64(cfg.CEs()) {
+		t.Fatalf("machine concurrency %v outside (1, %d]", c, cfg.CEs())
+	}
+}
+
 // TestSweepConfigsContention runs a mini scaling study (32 -> 64 CEs)
 // and checks the Section-7 contention estimator works against the
 // shared 1-processor base on a machine the paper never built.
