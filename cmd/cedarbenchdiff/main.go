@@ -18,98 +18,44 @@
 // deliberately loose (50%): across
 // machine generations only order-of-magnitude regressions — an
 // accidentally quadratic queue, a lost zero-allocation property — are
-// unambiguous, and those are exactly what the gate is for. Benchmarks
-// present only in the baseline are reported but not fatal (a renamed
-// benchmark should update the baseline); a new run with no common
-// benchmarks fails, since that means the gate matched nothing.
+// unambiguous, and those are exactly what the gate is for. In this
+// plain tolerance mode, benchmarks present only in the baseline are
+// reported but not fatal (a renamed benchmark should update the
+// baseline); a new run with no common benchmarks fails, since that
+// means the gate matched nothing.
 //
 // -min-speedup inverts the gate for opt-in speedup checks: when set
 // above zero, every common benchmark must beat its baseline events/sec
 // by at least that factor (e.g. -min-speedup 1.3 demands the fresh run
 // is 1.3x the baseline). This is how the CEDAR_SPEEDUP_GATE CI step
 // proves an optimization PR actually outruns the pre-refactor capture.
+// Under -min-speedup a benchmark present in a baseline but missing
+// from -new IS fatal (listed as MISSING): the mode exists to prove a
+// property of specific benchmarks, and a gate whose subject silently
+// vanished from the fresh log would pass vacuously, proving nothing.
 //
-// Exit status: 0 when every common benchmark passes, 1 on regression,
-// missed speedup, or empty intersection, 2 on bad invocation.
+// The comparison semantics live in internal/benchcmp, shared with the
+// cedarbench scenario-suite gate.
+//
+// Exit status: 0 when every gated benchmark passes, 1 on regression,
+// missed speedup, missing-under-min-speedup, or empty intersection,
+// 2 on bad invocation.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"sort"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchcmp"
 )
 
-// nsOp matches the measurement line of a benchmark result inside a
-// -json Output field, e.g. " 4507105\t       542.3 ns/op\t...". The
-// benchmark's name arrives separately in the event's Test field.
-var nsOp = regexp.MustCompile(`^\s*\d+\t\s*([0-9.]+) ns/op`)
-
-// testEvent is the subset of the `go test -json` schema we read.
-type testEvent struct {
-	Action string `json:"Action"`
-	Test   string `json:"Test"`
-	Output string `json:"Output"`
-}
-
-// parse extracts benchmark name → ns/op from a go test -json log. A
-// benchmark appearing more than once keeps its last value.
-func parse(path string) (map[string]float64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	out := map[string]float64{}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		var ev testEvent
-		if json.Unmarshal(sc.Bytes(), &ev) != nil || ev.Action != "output" || ev.Test == "" {
-			continue
-		}
-		m := nsOp.FindStringSubmatch(ev.Output)
-		if m == nil {
-			continue
-		}
-		ns, err := strconv.ParseFloat(m[1], 64)
-		if err != nil || ns <= 0 {
-			continue
-		}
-		out[ev.Test] = ns
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return out, nil
-}
-
-// multiFlag collects a repeatable -old flag; each occurrence may also
-// carry a comma-separated list.
-type multiFlag []string
-
-func (m *multiFlag) String() string { return strings.Join(*m, ",") }
-
-func (m *multiFlag) Set(v string) error {
-	for _, p := range strings.Split(v, ",") {
-		if p != "" {
-			*m = append(*m, p)
-		}
-	}
-	return nil
-}
-
 func main() {
-	var oldPaths multiFlag
+	var oldPaths benchcmp.PathList
 	flag.Var(&oldPaths, "old", "baseline go test -json benchmark log (repeatable, or comma-separated; default BENCH_kernel.json)")
 	newPath := flag.String("new", "", "fresh go test -json benchmark log to gate")
 	tol := flag.Float64("tol", 0.5, "allowed slowdown fraction before failing (0.5 = new may be half the baseline's events/sec)")
-	minSpeedup := flag.Float64("min-speedup", 0, "when > 0, require every common benchmark's new/old events/sec ratio to reach this factor")
+	minSpeedup := flag.Float64("min-speedup", 0, "when > 0, require every common benchmark's new/old events/sec ratio to reach this factor (a gated benchmark missing from -new is then fatal)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "cedarbenchdiff: -new is required")
@@ -125,86 +71,40 @@ func main() {
 		os.Exit(2)
 	}
 	if len(oldPaths) == 0 {
-		oldPaths = multiFlag{"BENCH_kernel.json"}
+		oldPaths = benchcmp.PathList{"BENCH_kernel.json"}
 	}
 
-	oldNS := map[string]float64{}
-	oldSrc := map[string]string{}
-	for _, path := range oldPaths {
-		m, err := parse(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v\n", err)
-			os.Exit(2)
-		}
-		for n, ns := range m {
-			if prev, dup := oldSrc[n]; dup {
-				fmt.Fprintf(os.Stderr, "cedarbenchdiff: benchmark %q appears in both %s and %s; ambiguous baseline\n",
-					n, prev, path)
-				os.Exit(2)
-			}
-			oldNS[n] = ns
-			oldSrc[n] = path
-		}
+	oldNS, err := benchcmp.LoadBaselines(oldPaths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v\n", err)
+		os.Exit(2)
 	}
-	newNS, err := parse(*newPath)
+	newNS, err := benchcmp.LoadNsOp(*newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v\n", err)
 		os.Exit(2)
 	}
 
-	var names []string
-	for n := range oldNS {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	spec := benchcmp.Spec{Tol: *tol, MinSpeedup: *minSpeedup}
+	rep := benchcmp.Compare(
+		benchcmp.EventsPerSec(oldNS), benchcmp.EventsPerSec(newNS),
+		func(string) benchcmp.Spec { return spec },
+		*minSpeedup > 0)
+	rep.WriteTable(os.Stdout, "old ev/s", "new ev/s")
 
-	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old ev/s", "new ev/s", "ratio")
-	common, failed := 0, 0
-	for _, n := range names {
-		oldEv := 1e9 / oldNS[n]
-		ns, ok := newNS[n]
-		if !ok {
-			fmt.Printf("%-44s %14.4g %14s %8s\n", n, oldEv, "missing", "-")
-			continue
-		}
-		common++
-		newEv := 1e9 / ns
-		ratio := newEv / oldEv
-		verdict := ""
-		switch {
-		case ratio < 1.0-*tol:
-			verdict = "  REGRESSION"
-			failed++
-		case *minSpeedup > 0 && ratio < *minSpeedup:
-			verdict = fmt.Sprintf("  BELOW %.2fx", *minSpeedup)
-			failed++
-		}
-		fmt.Printf("%-44s %14.4g %14.4g %7.2fx%s\n", n, oldEv, newEv, ratio, verdict)
-	}
-	for n := range newNS {
-		if _, ok := oldNS[n]; !ok {
-			fmt.Printf("%-44s %14s %14.4g %8s\n", n, "(no baseline)", 1e9/newNS[n], "-")
-		}
-	}
-
-	switch {
-	case common == 0:
-		fmt.Fprintln(os.Stderr, "cedarbenchdiff: no benchmark appears in both logs; the gate matched nothing")
-		os.Exit(1)
-	case failed > 0:
+	if err := rep.Err(); err != nil {
 		if *minSpeedup > 0 {
-			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %d of %d benchmark(s) missed the gate (tolerance %.0f%%, min speedup %.2fx)\n",
-				failed, common, *tol*100, *minSpeedup)
+			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v (tolerance %.0f%%, min speedup %.2fx)\n",
+				err, *tol*100, *minSpeedup)
 		} else {
-			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %d of %d benchmark(s) regressed beyond %.0f%% of the baseline events/sec\n",
-				failed, common, *tol*100)
+			fmt.Fprintf(os.Stderr, "cedarbenchdiff: %v (tolerance %.0f%%)\n", err, *tol*100)
 		}
 		os.Exit(1)
 	}
 	if *minSpeedup > 0 {
 		fmt.Printf("all %d common benchmark(s) within %.0f%% of baseline and at least %.2fx faster\n",
-			common, *tol*100, *minSpeedup)
+			rep.Common, *tol*100, *minSpeedup)
 	} else {
-		fmt.Printf("all %d common benchmark(s) within %.0f%% of baseline\n", common, *tol*100)
+		fmt.Printf("all %d common benchmark(s) within %.0f%% of baseline\n", rep.Common, *tol*100)
 	}
 }

@@ -67,11 +67,18 @@ type Key struct {
 	MaxCycles int64
 }
 
+// planEscaper keeps the canonical form one line: Plan may carry a
+// multi-line document (corpus scenario lists, bench scenario files),
+// and the entry-file key check reads exactly one line. Plans without
+// backslashes or newlines — every v1 key — render unchanged, so
+// existing entry addresses are preserved.
+var planEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // Canonical renders the key as one line with a fixed field order — the
 // string that is hashed, and that each entry records for verification.
 func (k Key) Canonical() string {
 	s := fmt.Sprintf("kind=%s app=%s config=%s steps=%d seed=%d plan=%s version=%s",
-		k.Kind, k.App, k.Config, k.Steps, k.Seed, k.Plan, k.Version)
+		k.Kind, k.App, k.Config, k.Steps, k.Seed, planEscaper.Replace(k.Plan), k.Version)
 	if k.MaxCycles != 0 {
 		s += fmt.Sprintf(" maxcycles=%d", k.MaxCycles)
 	}

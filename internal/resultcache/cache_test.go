@@ -207,3 +207,38 @@ func TestConcurrentPutGet(t *testing.T) {
 		t.Fatalf("cache holds %d entries, want 5", c.Len())
 	}
 }
+
+// TestMultiLinePlanRoundTrips is the regression test for multi-line
+// Plan fields (corpus scenario lists, bench scenario documents): the
+// raw document used to leak newlines into the entry's one-line key
+// record, so every Get failed verification, removed the entry, and
+// missed — the cache could never go warm for those kinds.
+func TestMultiLinePlanRoundTrips(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Kind: "bench", App: "bench", Version: "test-v1",
+		Plan: "name: tiny\napp: FLO52\nconfig: 1proc\nsteps: 1\n"}
+	payload := []byte(`{"version": 1, "records": []}`)
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want a hit with the stored payload", got, ok)
+	}
+	if s := c.Stats(); s.Corrupt != 0 {
+		t.Fatalf("multi-line plan flagged corrupt: %+v", s)
+	}
+	if !strings.Contains(key.Canonical(), `plan=name: tiny\napp:`) {
+		t.Fatalf("canonical form not newline-escaped: %q", key.Canonical())
+	}
+	// Escaping must not alias: a literal backslash-n differs from a
+	// newline.
+	other := key
+	other.Plan = strings.ReplaceAll(key.Plan, "\n", `\n`)
+	if other.ID() == key.ID() {
+		t.Fatal("escaped and literal plans share an address")
+	}
+}

@@ -1,0 +1,371 @@
+// Package scenario makes experiments data: a declarative .scenario
+// file names everything one measurement run depends on — application,
+// machine configuration, weak-scale factor, fault plan, kernel seed,
+// cycle budget — plus the metrics to extract from it, and the runner
+// (cmd/cedarbench) turns a directory of them into a canonical
+// BENCH_scenarios.json capture that is committed and diffed against
+// the previous run with per-metric gates (internal/benchcmp).
+//
+// The paper's contribution is a measurement methodology, not a single
+// number, so the repo's perf and correctness trajectory should live in
+// repeatable experiment definitions rather than hand-wired Go: the
+// layout follows elastic-package's _dev/benchmark/rally/<scenario>.yml
+// one-file-per-scenario corpus and rancher/fleet's named-experiment
+// benchmark suite, including the compare-against-prior-run step
+// elastic-package itself lists as TODO.
+//
+// # File format
+//
+// A .scenario file is a strict YAML subset, hand-parsed so the repo
+// takes no dependency: full-line # comments, `key: value` scalars, and
+// one list key (`metrics:`) whose items follow as `- item` lines.
+//
+//	# FLO52 under the PR-4 page-fault kill schedule.
+//	name: flo52-8proc-pgflt-kill
+//	app: FLO52
+//	config: 8proc
+//	steps: 1
+//	seed: 3327910339796038169
+//	plan: ce:1@76414
+//	max_cycles: 0
+//	parallel: 1
+//	metrics:
+//	  - ct_cycles
+//	  - os_breakdown
+//	  - events
+//	  - sim_events_per_sec
+//
+// Every field except app and config is optional. `scale: auto` (the
+// default) weak-scales the app by perfect.ScaleFactorFor of the
+// configuration's CE count — 1 on paper machines, the CE ratio on
+// scaled members — and an integer pins the factor explicitly. Metrics
+// default to DefaultMetrics.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/perfect"
+)
+
+// Ext is the file extension scenario files use.
+const Ext = ".scenario"
+
+// Metric names a scenario may extract. os_breakdown expands to one
+// record per OS activity category (the Table-2 overhead decomposition
+// rows); the others are single records.
+const (
+	// MetricCT is the completion time in cycles (deterministic, exact).
+	MetricCT = "ct_cycles"
+	// MetricOSBreakdown expands to the Table-2 rows: per-category OS
+	// time in cycles (deterministic, exact).
+	MetricOSBreakdown = "os_breakdown"
+	// MetricConcurrency is the Table-1 machine concurrency
+	// (deterministic, exact).
+	MetricConcurrency = "concurrency"
+	// MetricEvents is the kernel's dispatched-event count
+	// (deterministic, exact).
+	MetricEvents = "events"
+	// MetricSimEventsPerSec is kernel events per simulated second —
+	// event density over virtual time, a deterministic proxy for how
+	// hard the machine model works per modeled second.
+	MetricSimEventsPerSec = "sim_events_per_sec"
+	// MetricWallEventsPerSec is kernel events per wall-clock second —
+	// the real throughput trend line. Nondeterministic, so it is only
+	// recorded when the runner opts in (cedarbench -wallclock), gated
+	// with a tolerance instead of exactly, and never part of the
+	// committed byte-identical capture.
+	MetricWallEventsPerSec = "wall_events_per_sec"
+)
+
+// DefaultMetrics is the extraction set when a scenario names none:
+// every deterministic default, so a default capture is byte-identical
+// run to run.
+func DefaultMetrics() []string {
+	return []string{MetricCT, MetricOSBreakdown, MetricEvents, MetricSimEventsPerSec}
+}
+
+// knownMetrics validates the metrics list.
+var knownMetrics = map[string]bool{
+	MetricCT: true, MetricOSBreakdown: true, MetricConcurrency: true,
+	MetricEvents: true, MetricSimEventsPerSec: true, MetricWallEventsPerSec: true,
+}
+
+// ScaleAuto is the Scale sentinel for perfect.ScaleFactorFor.
+const ScaleAuto = 0
+
+// Scenario is one parsed experiment definition.
+type Scenario struct {
+	// Name identifies the scenario in captures and reports. Defaults to
+	// the file's base name without Ext.
+	Name string
+	// App is the application name (perfect.ByName).
+	App string
+	// Config is the machine family member name (arch.FamilyByName).
+	Config string
+	// Steps overrides the app's timestep count when > 0.
+	Steps int
+	// Scale is the weak-scale factor; ScaleAuto (the default) derives
+	// it from the configuration's CE count.
+	Scale int
+	// Seed overrides the deterministic kernel seed when non-zero.
+	Seed int64
+	// Plan is the fault plan (empty = healthy run).
+	Plan faults.Plan
+	// Parallel bounds intra-run batch parallelism (cedar.Options.Parallel).
+	Parallel int
+	// MaxCycles aborts the run past this virtual time (0 = unlimited).
+	MaxCycles int64
+	// Metrics is the extraction set (DefaultMetrics when empty).
+	Metrics []string
+	// WallTol is the tolerance for MetricWallEventsPerSec (default 0.5).
+	WallTol float64
+	// File is the source path, for error messages ("" when parsed from
+	// memory, e.g. a bench service job).
+	File string
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// Resolve looks the scenario's names up in the live registries and
+// returns the weak-scaled app and configuration it runs. The plan was
+// validated against the configuration at parse time.
+func (sc *Scenario) Resolve() (perfect.App, arch.Config, error) {
+	app, ok := perfect.ByName(sc.App)
+	if !ok {
+		return app, arch.Config{}, fmt.Errorf("scenario %s: unknown application %q", sc.Name, sc.App)
+	}
+	cfg, ok := arch.FamilyByName(sc.Config)
+	if !ok {
+		return app, cfg, fmt.Errorf("scenario %s: unknown configuration %q", sc.Name, sc.Config)
+	}
+	factor := sc.Scale
+	if factor == ScaleAuto {
+		factor = perfect.ScaleFactorFor(cfg.CEs())
+	}
+	return app.Scaled(factor), cfg, nil
+}
+
+// ScaleFactor returns the resolved weak-scale factor.
+func (sc *Scenario) ScaleFactor() int {
+	if sc.Scale != ScaleAuto {
+		return sc.Scale
+	}
+	if cfg, ok := arch.FamilyByName(sc.Config); ok {
+		return perfect.ScaleFactorFor(cfg.CEs())
+	}
+	return 1
+}
+
+// metricSet returns the effective extraction set: the declared metrics
+// (or DefaultMetrics), plus MetricWallEventsPerSec when wallclock is
+// on and the set lacks it.
+func (sc *Scenario) metricSet(wallclock bool) []string {
+	ms := sc.Metrics
+	if len(ms) == 0 {
+		ms = DefaultMetrics()
+	}
+	if wallclock {
+		seen := false
+		for _, m := range ms {
+			if m == MetricWallEventsPerSec {
+				seen = true
+			}
+		}
+		if !seen {
+			ms = append(append([]string(nil), ms...), MetricWallEventsPerSec)
+		}
+	}
+	return ms
+}
+
+// Parse parses one scenario document. fallbackName names the scenario
+// when the document has no name: key (callers pass the file's base
+// name, or a job id). Parsing resolves the app, configuration, and
+// fault plan against the live registries so a bad scenario is rejected
+// before anything runs.
+func Parse(fallbackName string, data []byte) (*Scenario, error) {
+	sc := &Scenario{Name: fallbackName, Scale: ScaleAuto, WallTol: 0.5}
+	var listKey string // non-empty while consuming "- item" lines
+	seen := map[string]bool{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if item, ok := strings.CutPrefix(trimmed, "- "); ok {
+			if listKey == "" {
+				return nil, fmt.Errorf("scenario line %d: list item %q outside a list key", lineNo, trimmed)
+			}
+			item = strings.TrimSpace(item)
+			if !knownMetrics[item] {
+				return nil, fmt.Errorf("scenario line %d: unknown metric %q (want %s)",
+					lineNo, item, strings.Join(metricNames(), ", "))
+			}
+			sc.Metrics = append(sc.Metrics, item)
+			continue
+		}
+		// A scalar or list-opening key ends any open list.
+		listKey = ""
+		if line != trimmed {
+			return nil, fmt.Errorf("scenario line %d: unexpected indentation (only list items indent)", lineNo)
+		}
+		key, val, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, fmt.Errorf("scenario line %d: %q is not key: value", lineNo, trimmed)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return nil, fmt.Errorf("scenario line %d: duplicate key %q", lineNo, key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "name":
+			sc.Name = val
+		case "app":
+			sc.App = val
+		case "config":
+			sc.Config = val
+		case "steps":
+			sc.Steps, err = nonNegInt(val)
+		case "scale":
+			if val == "auto" {
+				sc.Scale = ScaleAuto
+			} else {
+				sc.Scale, err = nonNegInt(val)
+				if err == nil && sc.Scale < 1 {
+					err = fmt.Errorf("scale %d must be >= 1 (or auto)", sc.Scale)
+				}
+			}
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "plan":
+			sc.Plan, err = faults.Parse(val)
+		case "parallel":
+			sc.Parallel, err = nonNegInt(val)
+		case "max_cycles":
+			var v int
+			v, err = nonNegInt(val)
+			sc.MaxCycles = int64(v)
+		case "wall_tol":
+			sc.WallTol, err = strconv.ParseFloat(val, 64)
+			if err == nil && (sc.WallTol < 0 || sc.WallTol >= 1) {
+				err = fmt.Errorf("wall_tol %v out of range [0,1)", sc.WallTol)
+			}
+		case "metrics":
+			if val != "" {
+				return nil, fmt.Errorf("scenario line %d: metrics takes - item lines, not an inline value", lineNo)
+			}
+			listKey = key
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario line %d: %s: %v", lineNo, key, err)
+		}
+	}
+	return sc, sc.validate()
+}
+
+func nonNegInt(val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative value %d", n)
+	}
+	return n, nil
+}
+
+func metricNames() []string {
+	names := make([]string, 0, len(knownMetrics))
+	for n := range knownMetrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// validate checks the parsed scenario against the live registries.
+func (sc *Scenario) validate() error {
+	switch {
+	case sc.Name == "":
+		return fmt.Errorf("scenario missing name")
+	case !nameRE.MatchString(sc.Name):
+		return fmt.Errorf("scenario name %q: want %s", sc.Name, nameRE)
+	case sc.App == "":
+		return fmt.Errorf("scenario %s: missing app", sc.Name)
+	case sc.Config == "":
+		return fmt.Errorf("scenario %s: missing config", sc.Name)
+	}
+	if _, ok := perfect.ByName(sc.App); !ok {
+		return fmt.Errorf("scenario %s: unknown application %q", sc.Name, sc.App)
+	}
+	cfg, ok := arch.FamilyByName(sc.Config)
+	if !ok {
+		return fmt.Errorf("scenario %s: unknown configuration %q", sc.Name, sc.Config)
+	}
+	if err := sc.Plan.Validate(cfg); err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	return nil
+}
+
+// LoadFile parses one .scenario file, defaulting the name to the file's
+// base name.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	stem := strings.TrimSuffix(filepath.Base(path), Ext)
+	sc, err := Parse(stem, data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sc.File = path
+	return sc, nil
+}
+
+// LoadDir loads every *.scenario file under dir, sorted by scenario
+// name. Duplicate names are an error — the capture keys on them. An
+// empty directory is an error too: a suite that gates zero scenarios
+// proves nothing.
+func LoadDir(dir string) ([]*Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+Ext))
+	if err != nil {
+		return nil, fmt.Errorf("scenario dir %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	var out []*Scenario
+	byName := map[string]string{}
+	for _, path := range paths {
+		sc, err := LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := byName[sc.Name]; dup {
+			return nil, fmt.Errorf("scenario name %q appears in both %s and %s", sc.Name, prev, path)
+		}
+		byName[sc.Name] = path
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario dir %s: no *%s files", dir, Ext)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faults/replay"
 	"repro/internal/perfect"
 	"repro/internal/resultcache"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,7 @@ const (
 	TypeSweep    = "sweep"    // one app across a configuration list
 	TypeReplay   = "replay"   // one recorded fault scenario
 	TypeCorpus   = "corpus"   // a batch of scenario lines, each verified
+	TypeBench    = "bench"    // one declarative benchmark scenario document
 )
 
 // JobSpec is the submitted description of one job (the POST /jobs
@@ -52,6 +54,11 @@ type JobSpec struct {
 	Scenario string `json:"scenario,omitempty"`
 	// Corpus is a list of scenario lines (corpus).
 	Corpus []string `json:"corpus,omitempty"`
+	// Bench is a declarative benchmark scenario document (bench): the
+	// text of one .scenario file in the internal/scenario format. The
+	// result payload is the scenario's canonical record capture —
+	// deterministic, so warm resubmits come straight from the cache.
+	Bench string `json:"bench,omitempty"`
 	// DeadlineMS caps each attempt's wall-clock run time in
 	// milliseconds; 0 uses the server default. Enforced by context
 	// cancellation threaded into the simulation kernel.
@@ -76,6 +83,7 @@ type resolved struct {
 	plan      faults.Plan
 	scenario  replay.Scenario
 	scenarios []replay.Scenario
+	bench     *scenario.Scenario
 }
 
 // Validate checks the spec against the live application and
@@ -141,12 +149,24 @@ func (sp *JobSpec) Validate() (resolved, error) {
 			}
 			r.scenarios = append(r.scenarios, sc)
 		}
+	case TypeBench:
+		if strings.TrimSpace(sp.Bench) == "" {
+			return r, fmt.Errorf("bench job without a scenario document")
+		}
+		if r.bench, err = scenario.Parse("bench", []byte(sp.Bench)); err != nil {
+			return r, err
+		}
+		// A spec-level cycle budget tightens (or sets) the document's
+		// own: both are part of the cache key, so the fold is safe.
+		if sp.MaxCycles > 0 {
+			r.bench.MaxCycles = sp.MaxCycles
+		}
 	case "":
-		return r, fmt.Errorf("missing job type (want %s, %s, %s, or %s)",
-			TypeSimulate, TypeSweep, TypeReplay, TypeCorpus)
+		return r, fmt.Errorf("missing job type (want %s, %s, %s, %s, or %s)",
+			TypeSimulate, TypeSweep, TypeReplay, TypeCorpus, TypeBench)
 	default:
-		return r, fmt.Errorf("unknown job type %q (want %s, %s, %s, or %s)",
-			sp.Type, TypeSimulate, TypeSweep, TypeReplay, TypeCorpus)
+		return r, fmt.Errorf("unknown job type %q (want %s, %s, %s, %s, or %s)",
+			sp.Type, TypeSimulate, TypeSweep, TypeReplay, TypeCorpus, TypeBench)
 	}
 	if sp.DeadlineMS < 0 {
 		return r, fmt.Errorf("negative deadline_ms %d", sp.DeadlineMS)
@@ -203,6 +223,12 @@ func (sp *JobSpec) cacheKey(version string) resultcache.Key {
 	case TypeCorpus:
 		k.App = "corpus"
 		k.Plan = strings.Join(sp.Corpus, "\n")
+		k.Steps, k.Seed = 0, 0
+	case TypeBench:
+		// The document text is the whole identity (any edit misses);
+		// spec MaxCycles stays in the key because it folds into the run.
+		k.App = "bench"
+		k.Plan = sp.Bench
 		k.Steps, k.Seed = 0, 0
 	}
 	return k
@@ -332,6 +358,16 @@ func (sp *JobSpec) execute(ctx context.Context, r resolved, progress func(string
 			return []byte(b.String()), fmt.Errorf("%d of %d corpus scenario(s) missed their expectation", failed, len(results))
 		}
 		return []byte(b.String()), nil
+
+	case TypeBench:
+		recs, err := scenario.RunCtx(ctx, r.bench, false)
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("bench %s: %d record(s)", r.bench.Name, len(recs)))
+		// The canonical capture encoding: deterministic bytes, directly
+		// diffable against a cedarbench run of the same document.
+		return scenario.EncodeCapture(recs)
 	}
 	return nil, fmt.Errorf("unknown job type %q", sp.Type)
 }

@@ -19,6 +19,7 @@ import (
 	cedar "repro"
 	"repro/internal/arch"
 	"repro/internal/perfect"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -884,5 +885,81 @@ func TestMetricsEndpointsAndJobSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), "serve_jobs_submitted_total,counter,,,,1\n") {
 		t.Fatalf("/metrics.csv missing submitted counter:\n%s", raw)
+	}
+}
+
+// benchDoc is a tiny scenario document for bench jobs.
+const benchDoc = "name: bench-flo52-tiny\napp: FLO52\nconfig: 1proc\nsteps: 1\n"
+
+// A bench job runs a scenario document, returns the canonical capture
+// encoding (byte-identical to a direct scenario run), and caches it
+// like every other job kind.
+func TestBenchJob(t *testing.T) {
+	sc, err := scenario.Parse("bench", []byte(benchDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := scenario.Run(sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := scenario.EncodeCapture(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(wantBytes)
+
+	cfg := fastCfg()
+	cfg.CacheDir = t.TempDir()
+	_, ts := newTestServer(t, cfg, nil)
+
+	spec := JobSpec{Type: TypeBench, Bench: benchDoc}
+	status, sr, raw := submit(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("bench submit: status %d (%s)", status, raw)
+	}
+	v := waitTerminal(t, ts, sr.ID)
+	if v.State != StateDone || v.CacheHit {
+		t.Fatalf("bench job: state %s cache_hit %v (err %q)", v.State, v.CacheHit, v.Error)
+	}
+	code, got := result(t, ts, sr.ID)
+	if code != 200 || got != want {
+		t.Fatalf("bench result differs from direct scenario run (status %d):\n%s", code, got)
+	}
+	// The payload is a well-formed capture with stamped identity.
+	parsed, err := scenario.ReadCapture(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("bench result is not a capture: %v", err)
+	}
+	if len(parsed) == 0 || parsed[0].Scenario != "bench-flo52-tiny" {
+		t.Fatalf("capture records = %+v", parsed)
+	}
+
+	// Warm resubmit: content-addressed cache hit on the document text.
+	status, sr2, raw := submit(t, ts, spec)
+	if status != http.StatusOK || !sr2.CacheHit {
+		t.Fatalf("warm bench submit: status %d body %s", status, raw)
+	}
+	if _, got2 := result(t, ts, sr2.ID); got2 != want {
+		t.Fatal("cached bench result differs")
+	}
+
+	// A different document is a different cache key.
+	other := JobSpec{Type: TypeBench, Bench: benchDoc + "seed: 7\n"}
+	if status, sr3, _ := submit(t, ts, other); status != http.StatusAccepted {
+		t.Fatalf("distinct bench doc unexpectedly hit the cache (status %d)", status)
+	} else {
+		waitTerminal(t, ts, sr3.ID)
+	}
+}
+
+// A bench job with an invalid scenario document is rejected at submit.
+func TestBenchJobRejectsBadDocument(t *testing.T) {
+	_, ts := newTestServer(t, fastCfg(), nil)
+	for _, doc := range []string{"", "app: NOPE\nconfig: 8proc\n", "app: FLO52\nconfig: 8proc\nbogus: 1\n"} {
+		status, _, raw := submit(t, ts, JobSpec{Type: TypeBench, Bench: doc})
+		if status != http.StatusBadRequest {
+			t.Fatalf("bad bench doc %q: status %d (%s)", doc, status, raw)
+		}
 	}
 }
