@@ -107,7 +107,7 @@ func main() {
 				plan = "-"
 			}
 			fmt.Printf("%-32s app=%s config=%s scale=%d steps=%d plan=%s\n",
-				sc.Name, sc.App, sc.Config, sc.ScaleFactor(), sc.Steps, plan)
+				sc.Name, sc.AppName(), sc.Config, sc.ScaleFactor(), sc.Steps, plan)
 		}
 		return
 	}

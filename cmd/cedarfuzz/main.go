@@ -12,6 +12,8 @@
 //	cedarfuzz [-corpus testdata/faultcorpus] [-quick] [-n 25]
 //	          [-seed S] [-app FLO52] [-config 8proc] [-steps 1]
 //	          [-shrink 60] [-parallel N]
+//	cedarfuzz -apps [-scenarios testdata/scenarios] [-quick] [-n 25]
+//	          [-seed S] [-config 8proc] [-shrink 60] [-promote dir]
 //
 // Without -quick only the corpus is replayed (cheap, deterministic —
 // the CI regression gate). With -quick the randomized sweep runs too;
@@ -19,6 +21,18 @@
 // schedules, and is always printed so a failure can be reproduced by
 // re-running with -seed. Exit status: 0 all scenarios behaved, 1
 // otherwise, 2 bad invocation.
+//
+// -apps switches from fault schedules to workload space. The corpus
+// leg runs every scenario in -scenarios that declares a pathology:
+// class and verifies the run still exhibits it (the detectors in
+// cedar.Run.Pathologies — hot-spot modules, barrier convoys, page
+// storms). The -quick leg samples the parametric workload generator
+// (internal/perfect/gen) with seeds derived from the logged master
+// seed, runs every sample, and ddmin-shrinks each pathological one to
+// a minimal reproduction, printed as a ready-to-commit inline-workload
+// scenario — or written into -promote's directory. Sweep findings are
+// the point, not failures; only samples that error count against the
+// exit status.
 //
 // Corpus replays and sweep scenarios are independent simulations and
 // run through the deterministic parallel engine; -parallel bounds the
@@ -47,23 +61,33 @@ func fatalf(code int, format string, args ...any) {
 
 func main() {
 	corpusDir := flag.String("corpus", "testdata/faultcorpus", "regression corpus directory (*.scenario files)")
-	quick := flag.Bool("quick", false, "also run the bounded randomized schedule sweep")
-	n := flag.Int("n", 25, "sweep: number of randomized scenarios")
+	quick := flag.Bool("quick", false, "also run the bounded randomized sweep (fault schedules, or generator samples with -apps)")
+	n := flag.Int("n", 25, "sweep: number of randomized scenarios (or generator samples)")
 	seed := flag.Int64("seed", 0, "sweep: RNG seed (0 = wall clock; the used seed is always printed)")
 	appName := flag.String("app", "FLO52", "sweep: application")
 	configName := flag.String("config", "8proc", "sweep: machine configuration")
 	steps := flag.Int("steps", 1, "sweep: timestep count")
-	shrinkRuns := flag.Int("shrink", 60, "max replays spent shrinking a failing scenario")
+	shrinkRuns := flag.Int("shrink", 60, "max replays spent shrinking a failing scenario (or pathological workload)")
 	parallel := flag.Int("parallel", 0, "concurrent replays (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
+	apps := flag.Bool("apps", false, "app-space mode: gate the pathology scenarios, then (with -quick) sweep the workload generator")
+	scenariosDir := flag.String("scenarios", "testdata/scenarios", "app-space mode: scenario directory with pathology: declarations")
+	promote := flag.String("promote", "", "app-space mode: write each shrunk pathological workload into this directory as a .scenario file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatalf(2, "unexpected arguments %v", flag.Args())
 	}
 
 	failures := 0
-	failures += replayCorpus(*corpusDir, *parallel)
-	if *quick {
-		failures += sweep(*appName, *configName, *steps, *seed, *n, *shrinkRuns, *parallel)
+	if *apps {
+		failures += appsCorpus(*scenariosDir, *parallel)
+		if *quick {
+			failures += appsSweep(*configName, *seed, *n, *shrinkRuns, *parallel, *promote)
+		}
+	} else {
+		failures += replayCorpus(*corpusDir, *parallel)
+		if *quick {
+			failures += sweep(*appName, *configName, *steps, *seed, *n, *shrinkRuns, *parallel)
+		}
 	}
 	if failures > 0 {
 		fatalf(1, "%d scenario(s) misbehaved", failures)

@@ -45,15 +45,22 @@ func runStatfx(app perfect.App, cfg arch.Config, opts cedar.Options, faultSpec s
 // runRemote submits the invocation to a cedarserved instance as a
 // simulate job, polls it to a terminal state, and prints the job's
 // canonical statfx result — byte-identical to what -statfx prints
-// locally for the same app, configuration, steps, and plan.
-func runRemote(server string, app perfect.App, cfg arch.Config, steps int, faultSpec string) {
+// locally for the same app, configuration, steps, and plan. A
+// non-empty workload is the inline document or gen: spec to submit in
+// place of the registry name, so the server never resolves (or caches
+// under) a name it doesn't know.
+func runRemote(server string, app perfect.App, workload string, cfg arch.Config, steps int, faultSpec string) {
 	base := strings.TrimRight(server, "/")
 	spec := serve.JobSpec{
 		Type:   serve.TypeSimulate,
-		App:    app.Name,
 		Config: cfg.Name,
 		Steps:  steps,
 		Plan:   faultSpec,
+	}
+	if workload != "" {
+		spec.Workload = workload
+	} else {
+		spec.App = app.Name
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {

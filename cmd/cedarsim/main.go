@@ -7,7 +7,9 @@
 //
 // Usage:
 //
-//	cedarsim [-app FLO52] [-ces 32] [-steps N] [-flat] [-no-baseline]
+//	cedarsim [-app FLO52 | -workload file.workload | -gen seed=7,hot=1]
+//	         [-list-apps] [-scenario file.scenario]
+//	         [-ces 32] [-steps N] [-flat] [-no-baseline]
 //	         [-config 64proc] [-clusters N -ces-per-cluster N
 //	          -gm-modules N -stages N -degree N] [-list-configs]
 //	         [-fault ce:2@1e6,module:17@5e5]
@@ -42,11 +44,20 @@
 // time, so a recorded line is a complete, stable reproduction of the
 // run it came from.
 //
+// The application is a workload source: -app takes a registry name
+// (see -list-apps) or a single-line gen: spec, -workload runs a
+// .workload document file, and -gen samples the parametric generator
+// (internal/perfect/gen). -scenario runs one .scenario file and prints
+// its canonical record capture — byte-diffable against cedarbench and
+// a cedarserved bench job of the same document.
+//
 // -statfx prints only the run's canonical statfx accounting block
 // (Run.StatfxText). -server submits the same invocation to a running
 // cedarserved instance (see cmd/cedarserved) and prints the job's
 // result — byte-identical to the -statfx output for the same app,
-// configuration, steps, and fault plan.
+// configuration, steps, and fault plan. Generated and document
+// workloads travel to the server inline (the canonical document text),
+// so their results cache under the full workload identity.
 //
 // The observability flags arm the obs layer: -trace writes a
 // Chrome/Perfetto trace-event file (load it at ui.perfetto.dev),
@@ -63,6 +74,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -82,7 +94,11 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perfect"
 	"repro/internal/profio"
+	"repro/internal/scenario"
 	"repro/internal/sim"
+
+	// Link the generator so -gen and gen: app sources resolve.
+	_ "repro/internal/perfect/gen"
 )
 
 // supportedCEs lists the CE counts of the paper configurations, for
@@ -116,6 +132,39 @@ func printConfigs() {
 	}
 }
 
+// printApps lists the built-in application registry — the names the
+// resolver accepts as bare -app values (the -list-apps output).
+func printApps() {
+	fmt.Printf("%-12s %6s %7s %11s %12s\n",
+		"name", "steps", "phases", "iterations", "data words")
+	for _, a := range perfect.Registry() {
+		fmt.Printf("%-12s %6d %7d %11d %12d\n",
+			a.Name, a.Steps, len(a.Phases), a.TotalIterations(), a.DataWords)
+	}
+}
+
+// runScenario executes one .scenario file and prints its canonical
+// record capture — byte-diffable against the same scenario's records
+// in a cedarbench capture or a cedarserved bench job result.
+func runScenario(path string, parallel int) {
+	sc, err := scenario.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(2)
+	}
+	recs, err := scenario.RunAll(context.Background(), []*scenario.Scenario{sc}, parallel, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := scenario.EncodeCapture(recs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cedarsim: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+}
+
 // usageErr prints the message plus flag usage and exits with status 2
 // (bad invocation).
 func usageErr(format string, args ...any) {
@@ -125,7 +174,11 @@ func usageErr(format string, args ...any) {
 }
 
 func main() {
-	appName := flag.String("app", "FLO52", "application: FLO52, ARC2D, MDG, OCEAN, ADM")
+	appName := flag.String("app", "FLO52", "application: a registry name (see -list-apps) or a gen: spec")
+	workloadPath := flag.String("workload", "", "run a .workload document file instead of -app")
+	genSpec := flag.String("gen", "", "generate the app from a gen: spec, e.g. seed=7,hot=1 (see internal/perfect/gen)")
+	listApps := flag.Bool("list-apps", false, "print the built-in application registry and exit")
+	scenarioPath := flag.String("scenario", "", "run one .scenario file and print its canonical record capture")
 	ces := flag.Int("ces", 32, "processor count: 1, 4, 8, 16, or 32")
 	configName := flag.String("config", "", "named machine family member (see -list-configs)")
 	clusters := flag.Int("clusters", 0, "custom machine: cluster count")
@@ -155,6 +208,14 @@ func main() {
 
 	if *listConfigs {
 		printConfigs()
+		return
+	}
+	if *listApps {
+		printApps()
+		return
+	}
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, *parallel)
 		return
 	}
 	stopProf, err := profio.Start(*cpuProfile, *memProfile)
@@ -199,10 +260,48 @@ func main() {
 		}
 	}
 
-	app, ok := perfect.ByName(*appName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "cedarsim: unknown application %q\n", *appName)
-		os.Exit(2)
+	// The three workload sources are mutually exclusive; -app only
+	// conflicts when set explicitly (it has a default).
+	explicitApp := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "app" {
+			explicitApp = true
+		}
+	})
+	if *workloadPath != "" && *genSpec != "" {
+		usageErr("-workload and -gen are mutually exclusive")
+	}
+	if explicitApp && (*workloadPath != "" || *genSpec != "") {
+		usageErr("-app conflicts with -workload and -gen")
+	}
+	// remoteWorkload is the inline source a -server run submits instead
+	// of a registry name: the gen: spec verbatim, or the canonical
+	// document text of a -workload file (the server must not read
+	// client-side paths).
+	var app perfect.App
+	var remoteWorkload string
+	switch {
+	case *genSpec != "":
+		src := *genSpec
+		if !strings.HasPrefix(src, perfect.GenPrefix) {
+			src = perfect.GenPrefix + src
+		}
+		if app, err = (perfect.Resolver{}).Resolve(src); err != nil {
+			usageErr("%v", err)
+		}
+		remoteWorkload = src
+	case *workloadPath != "":
+		if app, err = perfect.LoadWorkload(*workloadPath); err != nil {
+			usageErr("%v", err)
+		}
+		remoteWorkload = string(perfect.PrintWorkload(app))
+	default:
+		if app, err = (perfect.Resolver{AllowFiles: true}).Resolve(*appName); err != nil {
+			usageErr("%v", err)
+		}
+		if strings.Contains(*appName, "\n") || strings.HasSuffix(*appName, perfect.WorkloadExt) || strings.HasPrefix(*appName, perfect.GenPrefix) {
+			remoteWorkload = string(perfect.PrintWorkload(app))
+		}
 	}
 
 	custom := *clusters != 0 || *cesPer != 0 || *gmModules != 0 || *stages != 0 || *degree != 0
@@ -271,7 +370,7 @@ func main() {
 		if custom {
 			usageErr("-server needs a named configuration the service knows (see -list-configs)")
 		}
-		runRemote(*serverURL, app, cfg, *steps, *faultSpec)
+		runRemote(*serverURL, app, remoteWorkload, cfg, *steps, *faultSpec)
 		return
 	}
 	if *statfx {

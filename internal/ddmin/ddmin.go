@@ -1,0 +1,43 @@
+// Package ddmin implements the minimizing delta-debugging loop
+// (Zeller's ddmin) over an arbitrary element slice. Callers provide a
+// deterministic predicate that reports whether a candidate subset
+// still exhibits the behaviour being pinned (a failure, a pathology);
+// Minimize returns a subset that still satisfies it and from which no
+// tried chunk removal succeeds. Element order is preserved — removal
+// candidates are complements of contiguous chunks — so position-
+// sensitive inputs (event schedules, phase lists) stay meaningful.
+package ddmin
+
+// Minimize reduces items while keep returns true, trying the largest
+// chunk removals first and halving the chunk size when no removal at
+// the current granularity succeeds. keep is never called on an empty
+// candidate, and the input slice is not modified. keep must be
+// deterministic; if it needs a run budget, enforce one inside the
+// callback (returning false once exhausted stops further reduction).
+func Minimize[T any](items []T, keep func([]T) bool) []T {
+	chunk := (len(items) + 1) / 2
+	for chunk >= 1 && len(items) > 1 {
+		reduced := false
+		for lo := 0; lo < len(items); lo += chunk {
+			hi := min(lo+chunk, len(items))
+			// Try the complement: the slice without [lo, hi).
+			cand := make([]T, 0, len(items)-(hi-lo))
+			cand = append(cand, items[:lo]...)
+			cand = append(cand, items[hi:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if keep(cand) {
+				items = cand
+				reduced = true
+				lo -= chunk // re-test the same offset against the shrunk slice
+			}
+		}
+		if !reduced {
+			chunk /= 2
+		} else if chunk > len(items) {
+			chunk = len(items)
+		}
+	}
+	return items
+}

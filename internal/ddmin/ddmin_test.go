@@ -1,0 +1,90 @@
+package ddmin
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMinimizeFindsCore(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	keep := func(cand []int) bool {
+		has3, has7 := false, false
+		for _, v := range cand {
+			has3 = has3 || v == 3
+			has7 = has7 || v == 7
+		}
+		return has3 && has7
+	}
+	got := Minimize(items, keep)
+	if !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("Minimize = %v, want [3 7]", got)
+	}
+}
+
+func TestMinimizePreservesOrder(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	keep := func(cand []string) bool {
+		// Needs d before b? No — needs both b and d present; order in
+		// the result must still be input order.
+		hasB, hasD := false, false
+		for _, v := range cand {
+			hasB = hasB || v == "b"
+			hasD = hasD || v == "d"
+		}
+		return hasB && hasD
+	}
+	got := Minimize(items, keep)
+	if !reflect.DeepEqual(got, []string{"b", "d"}) {
+		t.Fatalf("Minimize = %v, want [b d]", got)
+	}
+}
+
+func TestMinimizeSingleElement(t *testing.T) {
+	got := Minimize([]int{42}, func(cand []int) bool { return true })
+	if !reflect.DeepEqual(got, []int{42}) {
+		t.Fatalf("Minimize = %v, want [42]", got)
+	}
+}
+
+func TestMinimizeNeverEmpty(t *testing.T) {
+	calls := 0
+	got := Minimize([]int{1, 2, 3, 4}, func(cand []int) bool {
+		calls++
+		if len(cand) == 0 {
+			t.Fatal("keep called with empty candidate")
+		}
+		return true // everything "fails": shrinks to one element
+	})
+	if len(got) != 1 {
+		t.Fatalf("Minimize = %v, want a single element", got)
+	}
+	if calls == 0 {
+		t.Fatal("keep never called")
+	}
+}
+
+func TestMinimizeInputUntouched(t *testing.T) {
+	items := []int{5, 6, 7, 8}
+	orig := append([]int(nil), items...)
+	Minimize(items, func(cand []int) bool { return len(cand) >= 2 })
+	if !reflect.DeepEqual(items, orig) {
+		t.Fatalf("input mutated: %v, want %v", items, orig)
+	}
+}
+
+func TestMinimizeBudgetedKeep(t *testing.T) {
+	// A keep that exhausts its budget mid-run stops further reduction
+	// but still returns a valid (possibly partial) subset.
+	budget := 3
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	got := Minimize(items, func(cand []int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return true
+	})
+	if len(got) == 0 || len(got) > len(items) {
+		t.Fatalf("Minimize = %v out of range", got)
+	}
+}

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"repro/internal/ddmin"
 	"repro/internal/faults"
 	"repro/internal/sim"
 )
@@ -39,39 +40,15 @@ func Shrink(sc Scenario, failing func(Scenario) bool, maxRuns int) (Scenario, in
 	return sc, runs
 }
 
-// shrinkPlan is the ddmin loop over plan events.
+// shrinkPlan is the ddmin loop over plan events (internal/ddmin does
+// the chunking; the closure reattaches each candidate to the
+// scenario).
 func shrinkPlan(sc Scenario, test func(Scenario) bool) faults.Plan {
-	plan := sc.Plan
-	chunk := (len(plan) + 1) / 2
-	for chunk >= 1 && len(plan) > 1 {
-		reduced := false
-		for lo := 0; lo < len(plan); lo += chunk {
-			hi := lo + chunk
-			if hi > len(plan) {
-				hi = len(plan)
-			}
-			// Try the complement: the plan without [lo, hi).
-			cand := make(faults.Plan, 0, len(plan)-(hi-lo))
-			cand = append(cand, plan[:lo]...)
-			cand = append(cand, plan[hi:]...)
-			if len(cand) == 0 {
-				continue
-			}
-			trial := sc
-			trial.Plan = cand
-			if test(trial) {
-				plan = cand
-				reduced = true
-				lo -= chunk // re-test the same offset against the shrunk plan
-			}
-		}
-		if !reduced {
-			chunk /= 2
-		} else if chunk > len(plan) {
-			chunk = len(plan)
-		}
-	}
-	return plan
+	return faults.Plan(ddmin.Minimize(sc.Plan, func(cand []faults.Event) bool {
+		trial := sc
+		trial.Plan = cand
+		return test(trial)
+	}))
 }
 
 // simplifyEvents canonicalizes each surviving event's knobs while the

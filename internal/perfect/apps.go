@@ -132,9 +132,28 @@ func Apps() []App {
 	return []App{FLO52(), ARC2D(), MDG(), OCEAN(), ADM()}
 }
 
-// ByName returns the app with the given (case-sensitive) name.
+// Registry returns every built-in app: the five paper apps followed by
+// the synthetic presets. This is the name space ByName resolves in and
+// `cedarsim -list-apps` prints.
+func Registry() []App {
+	return append(Apps(), FineGrained(), CoarseGrained())
+}
+
+// KnownApps returns the registry's names in registry order, for
+// "unknown app" error messages and listings.
+func KnownApps() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, a := range reg {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ByName returns the registry app with the given (case-sensitive)
+// name.
 func ByName(name string) (App, bool) {
-	for _, a := range Apps() {
+	for _, a := range Registry() {
 		if a.Name == name {
 			return a, true
 		}

@@ -1,0 +1,91 @@
+package gen
+
+import "repro/internal/perfect"
+
+// Characteristics summarizes an app along the axes the paper's
+// Section 2 uses to describe the Perfect codes: how serial it is, how
+// coarse its loop iterations are, how hard it drives global memory,
+// how big its footprint is, and how much parallelism each loop
+// exposes. The calibration test measures the five paper apps and the
+// generated corpus with the same function, so the envelope comparison
+// is apples to apples.
+type Characteristics struct {
+	// SerialFrac is serial compute cycles over total compute cycles
+	// for one timestep (the 1-processor Amdahl fraction).
+	SerialFrac float64
+	// MeanGrain is the iteration-weighted mean per-iteration compute
+	// cycles across parallel phases.
+	MeanGrain float64
+	// GMIntensity is global-memory words referenced per compute cycle
+	// across parallel phases.
+	GMIntensity float64
+	// FootprintWords is the global data footprint.
+	FootprintWords int64
+	// MeanParallelism is the mean flat iteration count per parallel
+	// phase instance — how many iterations a barrier-to-barrier region
+	// has to spread over the machine.
+	MeanParallelism float64
+}
+
+// Characterize measures one app.
+func Characterize(a perfect.App) Characteristics {
+	var serialWork, parallelWork, gmWords, iters, instances int64
+	for i := range a.Phases {
+		p := &a.Phases[i]
+		rep := int64(p.Repeat)
+		if rep < 1 {
+			rep = 1
+		}
+		if p.Kind == perfect.PhaseSerial {
+			serialWork += rep * p.Work
+			continue
+		}
+		n := rep * int64(p.Total())
+		parallelWork += n * p.Work
+		gmWords += n * int64(p.GMWords)
+		iters += n
+		instances += rep
+	}
+	c := Characteristics{FootprintWords: a.DataWords}
+	if total := serialWork + parallelWork; total > 0 {
+		c.SerialFrac = float64(serialWork) / float64(total)
+	}
+	if iters > 0 {
+		c.MeanGrain = float64(parallelWork) / float64(iters)
+	}
+	if parallelWork > 0 {
+		c.GMIntensity = float64(gmWords) / float64(parallelWork)
+	}
+	if instances > 0 {
+		c.MeanParallelism = float64(iters) / float64(instances)
+	}
+	return c
+}
+
+// Envelope is the elementwise min/max of a set of characteristics.
+type Envelope struct {
+	Min, Max Characteristics
+}
+
+// EnvelopeOf computes the envelope of the given apps.
+func EnvelopeOf(apps []perfect.App) Envelope {
+	var e Envelope
+	for i, a := range apps {
+		c := Characterize(a)
+		if i == 0 {
+			e.Min, e.Max = c, c
+			continue
+		}
+		e.Min.SerialFrac = min(e.Min.SerialFrac, c.SerialFrac)
+		e.Max.SerialFrac = max(e.Max.SerialFrac, c.SerialFrac)
+		e.Min.MeanGrain = min(e.Min.MeanGrain, c.MeanGrain)
+		e.Max.MeanGrain = max(e.Max.MeanGrain, c.MeanGrain)
+		e.Min.GMIntensity = min(e.Min.GMIntensity, c.GMIntensity)
+		e.Max.GMIntensity = max(e.Max.GMIntensity, c.GMIntensity)
+		e.Min.FootprintWords = min(e.Min.FootprintWords, c.FootprintWords)
+		e.Max.FootprintWords = max(e.Max.FootprintWords, c.FootprintWords)
+		e.Min.MeanParallelism = min(e.Min.MeanParallelism, c.MeanParallelism)
+		e.Max.MeanParallelism = max(e.Max.MeanParallelism, c.MeanParallelism)
+	}
+	return e
+}

@@ -103,30 +103,78 @@ type App struct {
 	Phases []Phase
 }
 
-// Validate reports whether the model is self-consistent.
+// Validate reports whether the model is self-consistent. Each check
+// names the violated constraint, so a hand-written or generated
+// workload document that fails gets an actionable message.
 func (a App) Validate() error {
 	if a.Name == "" {
 		return fmt.Errorf("perfect: app with empty name")
 	}
 	if a.Steps < 1 {
-		return fmt.Errorf("perfect: %s: steps %d < 1", a.Name, a.Steps)
+		return fmt.Errorf("perfect: %s: steps %d violates steps >= 1", a.Name, a.Steps)
 	}
 	if a.DataWords < 1 {
-		return fmt.Errorf("perfect: %s: no data", a.Name)
+		return fmt.Errorf("perfect: %s: data_words %d violates data_words >= 1", a.Name, a.DataWords)
+	}
+	if a.CacheHitRatio < 0 || a.CacheHitRatio > 1 {
+		return fmt.Errorf("perfect: %s: cache_hit_ratio %v violates 0 <= cache_hit_ratio <= 1",
+			a.Name, a.CacheHitRatio)
 	}
 	if len(a.Phases) == 0 {
-		return fmt.Errorf("perfect: %s: no phases", a.Name)
+		return fmt.Errorf("perfect: %s: no phases (at least one required)", a.Name)
 	}
 	for i, p := range a.Phases {
-		if p.Kind != PhaseSerial && (p.Inner < 1 || p.Outer < 0) {
-			return fmt.Errorf("perfect: %s: phase %d (%s) bad shape %dx%d",
-				a.Name, i, p.Name, p.Outer, p.Inner)
+		at := fmt.Sprintf("perfect: %s: phase %d (%s %s)", a.Name, i, p.Kind, p.Name)
+		if kindNames[p.Kind.String()] != p.Kind {
+			return fmt.Errorf("%s: unknown phase kind", at)
 		}
-		if p.Work < 0 || p.WorkJitter < 0 || p.WorkJitter > 1 {
-			return fmt.Errorf("perfect: %s: phase %d bad work", a.Name, i)
+		if p.Repeat < 0 {
+			return fmt.Errorf("%s: repeat %d violates repeat >= 0", at, p.Repeat)
+		}
+		if p.Kind != PhaseSerial {
+			if p.Inner < 1 {
+				return fmt.Errorf("%s: inner %d violates inner >= 1 for parallel phases", at, p.Inner)
+			}
+			if p.Outer < 0 {
+				return fmt.Errorf("%s: outer %d violates outer >= 0", at, p.Outer)
+			}
+		}
+		if p.Work < 0 {
+			return fmt.Errorf("%s: work %d violates work >= 0", at, p.Work)
+		}
+		if p.WorkJitter < 0 || p.WorkJitter > 1 {
+			return fmt.Errorf("%s: work_jitter %v violates 0 <= work_jitter <= 1", at, p.WorkJitter)
+		}
+		if p.GMWords < 0 {
+			return fmt.Errorf("%s: gm_words %d violates gm_words >= 0", at, p.GMWords)
+		}
+		if p.GMStride < 0 {
+			return fmt.Errorf("%s: gm_stride %d violates gm_stride >= 0", at, p.GMStride)
+		}
+		if p.ClusWords < 0 {
+			return fmt.Errorf("%s: clus_words %d violates clus_words >= 0", at, p.ClusWords)
+		}
+		if p.SerialCycles < 0 {
+			return fmt.Errorf("%s: serial_cycles %d violates serial_cycles >= 0", at, p.SerialCycles)
 		}
 	}
+	if min := a.MinDataWords(); a.DataWords < min {
+		return fmt.Errorf("perfect: %s: data_words %d below the phase footprint %d (sum of phase spans)",
+			a.Name, a.DataWords, min)
+	}
 	return nil
+}
+
+// MinDataWords returns the smallest global footprint that can hold
+// every phase's array slice — the sum of the phase spans. An App whose
+// DataWords is below this would wrap slices over each other in the
+// data region, so Validate rejects it.
+func (a App) MinDataWords() int64 {
+	var total int64
+	for i := range a.Phases {
+		total += a.Phases[i].span()
+	}
+	return total
 }
 
 // WithSteps returns a copy of the app simulating n timesteps (for

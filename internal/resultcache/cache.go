@@ -65,6 +65,12 @@ type Key struct {
 	// (0 = unlimited). A budget-truncated result is a different payload
 	// from an unbounded run's, so the cap is part of the address.
 	MaxCycles int64
+	// Workload is the workload source when the job names its app by
+	// document rather than registry name — an inline .workload text or
+	// a gen: spec ("" = App carries the name). The full source is part
+	// of the address: two generated apps that differ in any knob are
+	// different experiments and must never share a cache slot.
+	Workload string
 }
 
 // planEscaper keeps the canonical form one line: Plan may carry a
@@ -81,6 +87,9 @@ func (k Key) Canonical() string {
 		k.Kind, k.App, k.Config, k.Steps, k.Seed, planEscaper.Replace(k.Plan), k.Version)
 	if k.MaxCycles != 0 {
 		s += fmt.Sprintf(" maxcycles=%d", k.MaxCycles)
+	}
+	if k.Workload != "" {
+		s += fmt.Sprintf(" workload=%s", planEscaper.Replace(k.Workload))
 	}
 	return s
 }

@@ -49,6 +49,7 @@ func TestKeyFieldsAllParticipate(t *testing.T) {
 		func() Key { k := base; k.Plan = ""; return k }(),
 		func() Key { k := base; k.Version = "test-v2"; return k }(),
 		func() Key { k := base; k.MaxCycles = 7; return k }(),
+		func() Key { k := base; k.Workload = "workload: w\nsteps: 2\n"; return k }(),
 	}
 	seen := map[string]bool{base.ID(): true}
 	for i, v := range variants {
@@ -61,6 +62,24 @@ func TestKeyFieldsAllParticipate(t *testing.T) {
 	// minted before they existed keep their addresses.
 	if strings.Contains(base.Canonical(), "maxcycles") {
 		t.Fatalf("zero MaxCycles altered the v1 canonical form: %s", base.Canonical())
+	}
+	if strings.Contains(base.Canonical(), "workload") {
+		t.Fatalf("empty Workload altered the v1 canonical form: %s", base.Canonical())
+	}
+}
+
+// A workload document's newlines are escaped into the canonical form,
+// and any single-character edit to the document is a different key.
+func TestKeyWorkloadIdentity(t *testing.T) {
+	a := testKey(1)
+	a.Workload = "workload: w\nsteps: 2\n"
+	b := a
+	b.Workload = "workload: w\nsteps: 3\n"
+	if a.ID() == b.ID() {
+		t.Fatal("edited workload document shares a cache key")
+	}
+	if c := a.Canonical(); !strings.Contains(c, `workload=workload: w\nsteps: 2\n`) {
+		t.Fatalf("canonical form not newline-escaped: %q", c)
 	}
 }
 

@@ -82,7 +82,7 @@ func (sc *Scenario) extract(run *cedar.Run, wall time.Duration, wallclock bool) 
 
 	stamp := func(metric, unit string, value, tol float64) Record {
 		return Record{
-			Scenario: sc.Name, App: sc.App, Config: sc.Config,
+			Scenario: sc.Name, App: sc.AppName(), Config: sc.Config,
 			Scale: sc.ScaleFactor(), Steps: sc.Steps, Seed: sc.Seed,
 			Plan: sc.Plan.String(), Metric: metric, Unit: unit,
 			Value: value, Tol: tol,

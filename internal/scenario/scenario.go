@@ -54,6 +54,12 @@ import (
 	"repro/internal/arch"
 	"repro/internal/faults"
 	"repro/internal/perfect"
+
+	// Scenario documents may name their app as a gen: spec (app: or an
+	// inline workload: block); linking the generator installs the
+	// perfect.RegisterGen hook for every scenario consumer (cedarbench,
+	// cedarserved) in one place.
+	_ "repro/internal/perfect/gen"
 )
 
 // Ext is the file extension scenario files use.
@@ -102,13 +108,36 @@ var knownMetrics = map[string]bool{
 // ScaleAuto is the Scale sentinel for perfect.ScaleFactorFor.
 const ScaleAuto = 0
 
+// Pathology classes a promoted scenario may declare (pathology: key):
+// the workload-space fuzzer (cedarfuzz -apps) re-detects each promoted
+// scenario's declared pathology as its regression gate.
+const (
+	PathologyHotSpot       = "hotspot"
+	PathologyBarrierConvoy = "barrier-convoy"
+	PathologyPageStorm     = "page-storm"
+)
+
+// knownPathologies validates the pathology: key.
+var knownPathologies = map[string]bool{
+	PathologyHotSpot: true, PathologyBarrierConvoy: true, PathologyPageStorm: true,
+}
+
 // Scenario is one parsed experiment definition.
 type Scenario struct {
 	// Name identifies the scenario in captures and reports. Defaults to
 	// the file's base name without Ext.
 	Name string
-	// App is the application name (perfect.ByName).
+	// App is the application source: a registry name ("FLO52") or a
+	// gen: spec. Exactly one of App and Workload must be set.
 	App string
+	// Workload is an inline workload document (the workload: block) or
+	// a single-line gen: spec — any perfect.Resolver source except a
+	// file path, so a scenario document stays self-contained and safe
+	// to accept over the network (cedarserved bench jobs).
+	Workload string
+	// Pathology declares which pathology class this scenario was
+	// promoted for ("" = none); see the Pathology constants.
+	Pathology string
 	// Config is the machine family member name (arch.FamilyByName).
 	Config string
 	// Steps overrides the app's timestep count when > 0.
@@ -131,33 +160,41 @@ type Scenario struct {
 	// File is the source path, for error messages ("" when parsed from
 	// memory, e.g. a bench service job).
 	File string
+
+	// app and cfg are resolved once by validate; Resolve and the
+	// accessors below reuse them instead of re-querying the registries.
+	app perfect.App
+	cfg arch.Config
 }
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
 
-// Resolve looks the scenario's names up in the live registries and
-// returns the weak-scaled app and configuration it runs. The plan was
-// validated against the configuration at parse time.
+// Resolve returns the weak-scaled app and configuration the scenario
+// runs. Both were resolved and validated at parse time; only the
+// weak-scale transform is applied here.
 func (sc *Scenario) Resolve() (perfect.App, arch.Config, error) {
-	app, ok := perfect.ByName(sc.App)
-	if !ok {
-		return app, arch.Config{}, fmt.Errorf("scenario %s: unknown application %q", sc.Name, sc.App)
+	if sc.app.Name == "" {
+		return perfect.App{}, arch.Config{}, fmt.Errorf("scenario %s: not validated (use Parse)", sc.Name)
 	}
-	cfg, ok := arch.FamilyByName(sc.Config)
-	if !ok {
-		return app, cfg, fmt.Errorf("scenario %s: unknown configuration %q", sc.Name, sc.Config)
+	return sc.app.Scaled(sc.ScaleFactor()), sc.cfg, nil
+}
+
+// AppName returns the resolved app's name — the App field for
+// registry-named scenarios, the document's workload name otherwise.
+func (sc *Scenario) AppName() string {
+	if sc.app.Name != "" {
+		return sc.app.Name
 	}
-	factor := sc.Scale
-	if factor == ScaleAuto {
-		factor = perfect.ScaleFactorFor(cfg.CEs())
-	}
-	return app.Scaled(factor), cfg, nil
+	return sc.App
 }
 
 // ScaleFactor returns the resolved weak-scale factor.
 func (sc *Scenario) ScaleFactor() int {
 	if sc.Scale != ScaleAuto {
 		return sc.Scale
+	}
+	if sc.cfg.Name != "" {
+		return perfect.ScaleFactorFor(sc.cfg.CEs())
 	}
 	if cfg, ok := arch.FamilyByName(sc.Config); ok {
 		return perfect.ScaleFactorFor(cfg.CEs())
@@ -194,15 +231,24 @@ func (sc *Scenario) metricSet(wallclock bool) []string {
 // before anything runs.
 func Parse(fallbackName string, data []byte) (*Scenario, error) {
 	sc := &Scenario{Name: fallbackName, Scale: ScaleAuto, WallTol: 0.5}
-	var listKey string // non-empty while consuming "- item" lines
+	var listKey string   // non-empty while consuming "- item" lines
+	var wlBlock bool     // consuming the workload: block's indented lines
+	var wlLines []string // the block's lines, dedented
 	seen := map[string]bool{}
 	for i, raw := range strings.Split(string(data), "\n") {
 		lineNo := i + 1
 		line := strings.TrimRight(raw, " \t\r")
 		trimmed := strings.TrimSpace(line)
+		if wlBlock && strings.HasPrefix(line, "  ") {
+			// Workload block content: strip exactly the block's two-space
+			// indent, keeping the document's own phase indentation.
+			wlLines = append(wlLines, line[2:])
+			continue
+		}
 		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
 			continue
 		}
+		wlBlock = false
 		if item, ok := strings.CutPrefix(trimmed, "- "); ok {
 			if listKey == "" {
 				return nil, fmt.Errorf("scenario line %d: list item %q outside a list key", lineNo, trimmed)
@@ -236,6 +282,20 @@ func Parse(fallbackName string, data []byte) (*Scenario, error) {
 			sc.Name = val
 		case "app":
 			sc.App = val
+		case "workload":
+			if val != "" {
+				// Single-line source (a gen: spec); an empty value opens
+				// the indented document block instead.
+				sc.Workload = val
+			} else {
+				wlBlock = true
+			}
+		case "pathology":
+			if !knownPathologies[val] {
+				err = fmt.Errorf("unknown pathology %q (want %s, %s, or %s)",
+					val, PathologyHotSpot, PathologyBarrierConvoy, PathologyPageStorm)
+			}
+			sc.Pathology = val
 		case "config":
 			sc.Config = val
 		case "steps":
@@ -276,6 +336,12 @@ func Parse(fallbackName string, data []byte) (*Scenario, error) {
 			return nil, fmt.Errorf("scenario line %d: %s: %v", lineNo, key, err)
 		}
 	}
+	if len(wlLines) > 0 {
+		if sc.Workload != "" {
+			return nil, fmt.Errorf("scenario: workload has both an inline value and a block")
+		}
+		sc.Workload = strings.Join(wlLines, "\n") + "\n"
+	}
 	return sc, sc.validate()
 }
 
@@ -299,25 +365,38 @@ func metricNames() []string {
 	return names
 }
 
-// validate checks the parsed scenario against the live registries.
+// validate checks the parsed scenario against the live registries,
+// resolving the app and configuration exactly once (Resolve reuses
+// them).
 func (sc *Scenario) validate() error {
 	switch {
 	case sc.Name == "":
 		return fmt.Errorf("scenario missing name")
 	case !nameRE.MatchString(sc.Name):
 		return fmt.Errorf("scenario name %q: want %s", sc.Name, nameRE)
-	case sc.App == "":
-		return fmt.Errorf("scenario %s: missing app", sc.Name)
+	case sc.App == "" && sc.Workload == "":
+		return fmt.Errorf("scenario %s: missing app (or workload)", sc.Name)
+	case sc.App != "" && sc.Workload != "":
+		return fmt.Errorf("scenario %s: app and workload are mutually exclusive", sc.Name)
 	case sc.Config == "":
 		return fmt.Errorf("scenario %s: missing config", sc.Name)
 	}
-	if _, ok := perfect.ByName(sc.App); !ok {
-		return fmt.Errorf("scenario %s: unknown application %q", sc.Name, sc.App)
+	src := sc.App
+	if sc.Workload != "" {
+		src = sc.Workload
 	}
+	// No file sources: a scenario document travels (bench service
+	// jobs), so it must stay self-contained.
+	app, err := (perfect.Resolver{}).Resolve(src)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	sc.app = app
 	cfg, ok := arch.FamilyByName(sc.Config)
 	if !ok {
 		return fmt.Errorf("scenario %s: unknown configuration %q", sc.Name, sc.Config)
 	}
+	sc.cfg = cfg
 	if err := sc.Plan.Validate(cfg); err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}

@@ -89,13 +89,75 @@ func TestParseAutoScaleOnScaledMember(t *testing.T) {
 	}
 }
 
+// A scenario can carry its application inline: a workload: block is
+// dedented into a self-contained workload document, resolved at parse
+// time, and named after the document's workload: key.
+func TestParseInlineWorkloadBlock(t *testing.T) {
+	doc := `name: inline
+config: 8proc
+steps: 2
+pathology: hotspot
+workload:
+  workload: probe
+  steps: 2
+  data_words: 4096
+  phase: xdoall x
+    inner: 32
+    work: 100
+    gm_words: 4
+    gm_stride: 32
+`
+	sc, err := Parse("fallback", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.App != "" {
+		t.Fatalf("App = %q, want empty for a workload scenario", sc.App)
+	}
+	if !strings.HasPrefix(sc.Workload, "workload: probe\n") || !strings.HasSuffix(sc.Workload, "gm_stride: 32\n") {
+		t.Fatalf("block not dedented into a document:\n%s", sc.Workload)
+	}
+	if sc.Pathology != PathologyHotSpot {
+		t.Fatalf("Pathology = %q", sc.Pathology)
+	}
+	app, cfg, err := sc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "probe" || sc.AppName() != "probe" {
+		t.Fatalf("resolved app %q, AppName %q; want probe", app.Name, sc.AppName())
+	}
+	if cfg.Name != "8proc" || len(app.Phases) != 1 || app.Phases[0].GMStride != 32 {
+		t.Fatalf("resolved app/config off: %+v on %s", app, cfg.Name)
+	}
+}
+
+// A single-line workload: value is a gen: spec resolved through the
+// same path as every other layer.
+func TestParseGenWorkload(t *testing.T) {
+	sc, err := Parse("g", []byte("config: 8proc\nworkload: gen:seed=14,hot=1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _, err := sc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != sc.AppName() || app.Name == "" {
+		t.Fatalf("gen app %q, AppName %q", app.Name, sc.AppName())
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatalf("generated app invalid: %v", err)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		name, doc, wantErr string
 	}{
 		{"missing app", "config: 8proc\n", "missing app"},
 		{"missing config", "app: FLO52\n", "missing config"},
-		{"unknown app", "app: NOPE\nconfig: 8proc\n", `unknown application "NOPE"`},
+		{"unknown app", "app: NOPE\nconfig: 8proc\n", `unknown app "NOPE" (known:`},
 		{"unknown config", "app: FLO52\nconfig: 9proc\n", `unknown configuration "9proc"`},
 		{"unknown key", "app: FLO52\nconfig: 8proc\nbogus: 1\n", `unknown key "bogus"`},
 		{"duplicate key", "app: FLO52\napp: OCEAN\nconfig: 8proc\n", "duplicate key"},
@@ -110,6 +172,11 @@ func TestParseErrors(t *testing.T) {
 		{"indented scalar", "app: FLO52\n  config: 8proc\n", "indentation"},
 		{"not key value", "app: FLO52\nconfig: 8proc\njust words\n", "key: value"},
 		{"bad name", "name: a b\napp: FLO52\nconfig: 8proc\n", "name"},
+		{"app and workload", "app: FLO52\nconfig: 8proc\nworkload: gen:seed=1\n", "mutually exclusive"},
+		{"workload file path", "config: 8proc\nworkload: apps.workload\n", "not allowed here"},
+		{"empty workload block", "config: 8proc\nworkload:\n", "missing app"},
+		{"bad workload doc", "config: 8proc\nworkload:\n  steps: 2\n  bogus: 1\n", `unknown key "bogus"`},
+		{"unknown pathology", "app: FLO52\nconfig: 8proc\npathology: slowness\n", `unknown pathology "slowness"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

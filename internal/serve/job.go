@@ -36,8 +36,16 @@ const (
 type JobSpec struct {
 	// Type selects the job shape: simulate, sweep, replay, or corpus.
 	Type string `json:"type"`
-	// App is the application name (simulate, sweep).
+	// App is the application name (simulate, sweep). Registry names and
+	// single-line gen: specs both resolve; exactly one of App and
+	// Workload must be set for these job types.
 	App string `json:"app,omitempty"`
+	// Workload is an inline workload document or gen: spec (simulate,
+	// sweep) — the full-document alternative to App. File paths are
+	// rejected: a remote caller must not read server-side files. The
+	// source text folds into the result-cache key, so two generated
+	// apps differing in any knob never share a cache slot.
+	Workload string `json:"workload,omitempty"`
 	// Config is the configuration name (simulate).
 	Config string `json:"config,omitempty"`
 	// Configs lists configuration names for a sweep; empty means the
@@ -95,7 +103,10 @@ func (sp *JobSpec) Validate() (resolved, error) {
 	var err error
 	switch sp.Type {
 	case TypeSimulate:
-		if r.app, r.cfg, err = lookup(sp.App, sp.Config); err != nil {
+		if r.app, err = sp.resolveApp(); err != nil {
+			return r, err
+		}
+		if r.cfg, err = lookupConfig(sp.Config); err != nil {
 			return r, err
 		}
 		if sp.Plan != "" {
@@ -107,9 +118,8 @@ func (sp *JobSpec) Validate() (resolved, error) {
 			}
 		}
 	case TypeSweep:
-		var ok bool
-		if r.app, ok = perfect.ByName(sp.App); !ok {
-			return r, fmt.Errorf("unknown application %q", sp.App)
+		if r.app, err = sp.resolveApp(); err != nil {
+			return r, err
 		}
 		if sp.Plan != "" {
 			return r, fmt.Errorf("sweep jobs do not take a fault plan (submit per-config simulate jobs)")
@@ -193,16 +203,39 @@ func isInterrupted(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
-func lookup(appName, cfgName string) (perfect.App, arch.Config, error) {
-	app, ok := perfect.ByName(appName)
-	if !ok {
-		return app, arch.Config{}, fmt.Errorf("unknown application %q", appName)
+// resolveApp resolves a spec's workload source: the App name (or
+// single-line gen: spec) or the Workload document, exactly one of
+// which must be set. File sources are rejected (Resolver.AllowFiles
+// stays false): the spec arrived over the network.
+func (sp *JobSpec) resolveApp() (perfect.App, error) {
+	switch {
+	case sp.App == "" && sp.Workload == "":
+		return perfect.App{}, fmt.Errorf("missing app (or workload)")
+	case sp.App != "" && sp.Workload != "":
+		return perfect.App{}, fmt.Errorf("app and workload are mutually exclusive")
 	}
+	src := sp.App
+	if sp.Workload != "" {
+		src = sp.Workload
+	}
+	return (perfect.Resolver{}).Resolve(src)
+}
+
+func lookup(appName, cfgName string) (perfect.App, arch.Config, error) {
+	app, err := (perfect.Resolver{}).Resolve(appName)
+	if err != nil {
+		return app, arch.Config{}, err
+	}
+	cfg, err := lookupConfig(cfgName)
+	return app, cfg, err
+}
+
+func lookupConfig(cfgName string) (arch.Config, error) {
 	cfg, ok := arch.FamilyByName(cfgName)
 	if !ok {
-		return app, cfg, fmt.Errorf("unknown configuration %q", cfgName)
+		return cfg, fmt.Errorf("unknown configuration %q", cfgName)
 	}
-	return app, cfg, nil
+	return cfg, nil
 }
 
 // cacheKey derives the content-address of the job's result. The
@@ -214,8 +247,10 @@ func (sp *JobSpec) cacheKey(version string) resultcache.Key {
 	switch sp.Type {
 	case TypeSimulate:
 		k.App, k.Config, k.Plan = sp.App, sp.Config, sp.Plan
+		k.Workload = sp.Workload
 	case TypeSweep:
 		k.App, k.Config = sp.App, strings.Join(sp.Configs, ",")
+		k.Workload = sp.Workload
 	case TypeReplay:
 		k.App = "replay"
 		k.Plan = sp.Scenario
@@ -257,7 +292,7 @@ func (sp *JobSpec) execute(ctx context.Context, r resolved, progress func(string
 		if err != nil {
 			return nil, err
 		}
-		progress(fmt.Sprintf("simulated %s on %s: ct=%d", sp.App, sp.Config, int64(run.Result.CT)))
+		progress(fmt.Sprintf("simulated %s on %s: ct=%d", r.app.Name, sp.Config, int64(run.Result.CT)))
 		return []byte(run.StatfxText()), nil
 
 	case TypeSweep:
@@ -271,7 +306,7 @@ func (sp *JobSpec) execute(ctx context.Context, r resolved, progress func(string
 				if rerr != nil {
 					return out{err: rerr}
 				}
-				progress(fmt.Sprintf("swept %s on %s: ct=%d", sp.App, cfg.Name, int64(run.Result.CT)))
+				progress(fmt.Sprintf("swept %s on %s: ct=%d", r.app.Name, cfg.Name, int64(run.Result.CT)))
 				return out{text: run.StatfxText()}
 			})
 		if err != nil {

@@ -701,7 +701,7 @@ func TestBadRequests(t *testing.T) {
 		spec JobSpec
 		want string
 	}{
-		{JobSpec{Type: "simulate", App: "NOPE", Config: "8proc"}, "unknown application"},
+		{JobSpec{Type: "simulate", App: "NOPE", Config: "8proc"}, "unknown app"},
 		{JobSpec{Type: "simulate", App: "FLO52", Config: "9proc"}, "unknown configuration"},
 		{JobSpec{Type: "simulate", App: "FLO52", Config: "8proc", Plan: "ce:99@1"}, "out of range"},
 		{JobSpec{Type: "sweep", App: "FLO52", Plan: "ce:1@500"}, "fault plan"},
